@@ -1,0 +1,110 @@
+"""Summarize pytest-benchmark JSON into per-figure series tables.
+
+``pytest benchmarks/ --benchmark-only --benchmark-json=out.json`` saves a
+machine-readable record of every measurement, including the
+``extra_info`` each benchmark attaches (figure id, query name, engine,
+row counts, I/O).  This tool reshapes that JSON into the tables the
+paper's figures plot — one row per query, one column pair (time, I/O)
+per engine — so a benchmark run turns directly into a Figure 5/6/7
+replica.
+
+Run:  python benchmarks/summarize.py out.json [--figure 5a]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+from typing import Any, Dict, List, Optional
+
+
+def load_measurements(path: str) -> List[Dict[str, Any]]:
+    """Flatten a pytest-benchmark JSON file into measurement dicts."""
+    with open(path) as f:
+        payload = json.load(f)
+    measurements = []
+    for bench in payload.get("benchmarks", []):
+        extra = bench.get("extra_info", {})
+        measurements.append(
+            {
+                "name": bench.get("name", ""),
+                "figure": extra.get("figure") or extra.get("ablation") or "misc",
+                "query": extra.get("query")
+                or extra.get("dataset")
+                or extra.get("variant")
+                or extra.get("shape")
+                or bench.get("name", ""),
+                "engine": extra.get("engine")
+                or extra.get("order")
+                or extra.get("variant")
+                or "-",
+                "mean_seconds": bench.get("stats", {}).get("mean", 0.0),
+                "rows": extra.get("rows"),
+                "physical_io": extra.get("physical_io"),
+                "extra": extra,
+            }
+        )
+    return measurements
+
+
+def figure_table(measurements: List[Dict[str, Any]], figure: str) -> str:
+    """Render one figure's series as a fixed-width text table."""
+    selected = [m for m in measurements if str(m["figure"]) == figure]
+    if not selected:
+        return f"(no measurements tagged figure={figure!r})"
+    engines = sorted({m["engine"] for m in selected})
+    queries: List[str] = []
+    for m in selected:
+        if m["query"] not in queries:
+            queries.append(m["query"])
+    by = {(m["engine"], m["query"]): m for m in selected}
+
+    header = f"{'query':<14}" + "".join(
+        f"{e + ' (s)':>14}{e + ' I/O':>12}" for e in engines
+    )
+    lines = [f"== figure {figure} ==", header, "-" * len(header)]
+    for query in queries:
+        cells = [f"{query:<14}"]
+        for engine in engines:
+            m = by.get((engine, query))
+            if m is None:
+                cells.append(f"{'-':>14}{'-':>12}")
+                continue
+            io = m["physical_io"]
+            cells.append(
+                f"{m['mean_seconds']:>14.4f}{(str(io) if io is not None else '-'):>12}"
+            )
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+def available_figures(measurements: List[Dict[str, Any]]) -> List[str]:
+    seen = []
+    for m in measurements:
+        fig = str(m["figure"])
+        if fig not in seen:
+            seen.append(fig)
+    return seen
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("json_path", help="pytest-benchmark JSON output")
+    parser.add_argument("--figure", help="render one figure only (e.g. 5a)")
+    args = parser.parse_args(argv)
+
+    measurements = load_measurements(args.json_path)
+    if not measurements:
+        print("no benchmark measurements in file", file=sys.stderr)
+        return 1
+    figures = [args.figure] if args.figure else available_figures(measurements)
+    for figure in figures:
+        print(figure_table(measurements, figure))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

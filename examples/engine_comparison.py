@@ -1,0 +1,74 @@
+"""Mini reproduction of the paper's evaluation, end to end, in one script.
+
+Runs all four competitors (TSD, INT-DP, DP, DPS) over an XMark DAG and
+prints a Figure 5/6-style comparison table: elapsed time, simulated
+physical/logical page I/O, and modeled time (wall + disk latency per
+counted page transfer).  Every engine's match count is cross-checked.
+
+Run:  python examples/engine_comparison.py
+"""
+
+from repro import GraphEngine, IGMJEngine, TwigStackD, xmark
+from repro.workloads.patterns import PatternFactory
+from repro.workloads.runner import (
+    check_agreement,
+    format_records,
+    run_igmj,
+    run_rjoin,
+    run_tsd,
+)
+
+
+def main() -> None:
+    # a DAG dataset (TSD only supports DAGs): watches and catgraph edges
+    # are the cycle-creating IDREF families, so they are disabled
+    data = xmark.generate(
+        factor=0.3,
+        entity_budget=1500,
+        seed=7,
+        watches_per_person=0.0,
+        catgraph_edges_per_category=0.0,
+    )
+    graph = data.graph
+    print(f"XMark DAG: {graph.node_count} nodes, {graph.edge_count} edges")
+
+    buffer_bytes = 128 * 1024
+    engine = GraphEngine(graph, buffer_bytes=buffer_bytes)
+    tsd = TwigStackD(graph)
+    igmj = IGMJEngine(graph, buffer_bytes=buffer_bytes)
+    factory = PatternFactory(engine.db.catalog, seed=11)
+
+    records = []
+    workload = {}
+    workload.update(factory.figure4_paths())
+    workload.update(factory.figure4_trees())
+    for name, pattern in workload.items():
+        records.append(run_tsd(tsd, name, pattern))
+        records.append(run_igmj(igmj, name, pattern))
+        records.append(run_rjoin(engine, name, pattern, "dp"))
+        records.append(run_rjoin(engine, name, pattern, "dps"))
+
+    mismatches = check_agreement(records)
+    assert not mismatches, f"engines disagree: {mismatches}"
+
+    print()
+    print(format_records(records))
+    print("\nall engines agree on every query's match count")
+
+    # aggregate view per engine
+    print("\ntotals per engine:")
+    by_engine = {}
+    for rec in records:
+        agg = by_engine.setdefault(rec.engine, [0.0, 0, 0.0])
+        agg[0] += rec.elapsed_seconds
+        agg[1] += rec.physical_io
+        agg[2] += rec.modeled_seconds
+    for engine_name, (elapsed, io, modeled) in sorted(by_engine.items()):
+        print(
+            f"  {engine_name:>7}: elapsed={elapsed:8.3f}s  "
+            f"physical I/O={io:>7}  modeled={modeled:8.3f}s"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Baselines: naive ground truth, TwigStackD (TSD), IGMJ (INT-DP)."""
+
+from .igmj import IGMJEngine, IGMJMetrics
+from .naive import NaiveMatcher
+from .twigstack import TwigStack
+from .twigstackd import TSDMetrics, TwigStackD
+
+__all__ = [
+    "IGMJEngine",
+    "IGMJMetrics",
+    "NaiveMatcher",
+    "TwigStack",
+    "TSDMetrics",
+    "TwigStackD",
+]

@@ -1,0 +1,81 @@
+"""Naive graph pattern matcher — the ground truth for every other engine.
+
+Backtracking over pattern variables with BFS-computed reachable sets,
+memoized per source node.  Exponential in the worst case but obviously
+correct, which is its entire job: the test suite asserts that DP, DPS,
+TSD and INT-DP all return exactly this matcher's result set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..graph.digraph import DiGraph
+from ..graph.traversal import reachable_set
+from ..query.pattern import GraphPattern
+
+
+class NaiveMatcher:
+    """Brute-force pattern matching by backtracking search."""
+
+    def __init__(self, graph: DiGraph) -> None:
+        self.graph = graph
+        self._reach_cache: Dict[int, Set[int]] = {}
+
+    def _reaches(self, u: int, v: int) -> bool:
+        cached = self._reach_cache.get(u)
+        if cached is None:
+            cached = reachable_set(self.graph, u)
+            self._reach_cache[u] = cached
+        return v in cached
+
+    def match(self, pattern: GraphPattern) -> List[Tuple[int, ...]]:
+        """All matches, as tuples ordered by ``pattern.variables``."""
+        extents = self.graph.extents()
+        candidates = {
+            var: extents.get(pattern.label(var), ())
+            for var in pattern.variables
+        }
+        # order variables: most-constrained (smallest extent) first, but
+        # keep the search connected so conditions prune early
+        order: List[str] = []
+        remaining = set(pattern.variables)
+        while remaining:
+            connected = [
+                v for v in remaining
+                if not order or pattern.adjacent(v) & set(order)
+            ]
+            pool = connected or sorted(remaining)
+            var = min(pool, key=lambda v: (len(candidates[v]), v))
+            order.append(var)
+            remaining.discard(var)
+
+        # conditions checkable as soon as their later endpoint is bound
+        checks_at: Dict[str, List[Tuple[str, str]]] = {v: [] for v in order}
+        position = {var: i for i, var in enumerate(order)}
+        for src, dst in pattern.conditions:
+            later = src if position[src] > position[dst] else dst
+            checks_at[later].append((src, dst))
+
+        results: List[Tuple[int, ...]] = []
+        binding: Dict[str, int] = {}
+
+        def backtrack(depth: int) -> None:
+            if depth == len(order):
+                results.append(tuple(binding[v] for v in pattern.variables))
+                return
+            var = order[depth]
+            for node in candidates[var]:
+                binding[var] = node
+                if all(
+                    self._reaches(binding[src], binding[dst])
+                    for src, dst in checks_at[var]
+                ):
+                    backtrack(depth + 1)
+            binding.pop(var, None)
+
+        backtrack(0)
+        return results
+
+    def match_set(self, pattern: GraphPattern) -> Set[Tuple[int, ...]]:
+        return set(self.match(pattern))

@@ -1,0 +1,159 @@
+"""TwigStack-style holistic twig joins over a *tree* (Bruno et al. [8]).
+
+TwigStackD's first phase "uses [the] Twig-Join algorithm in [8] to find
+all ... patterns found in the spanning tree" (paper Section 5.1).  This
+module implements that referenced machinery: given a forest with pre/post
+interval codes and a tree-shaped pattern, find every match whose *every*
+pattern edge is an ancestor-descendant pair in the forest.
+
+The implementation is the holistic stack sweep in its merged-stream form
+(the PathStack/TwigStack family):
+
+1. **document-order sweep with linked stacks** — all candidates of all
+   pattern nodes are consumed in one pass ordered by preorder ``start``.
+   Each pattern node keeps a stack of *open* candidates (tree intervals
+   containing the sweep point are totally nested, so a stack suffices);
+   a candidate is pushed only if its pattern parent's stack is non-empty
+   — candidates with no open ancestor are skipped unbuffered — and each
+   entry links to the top of its parent's stack.  When a pattern *leaf*
+   is pushed, every root-to-leaf path solution through it is emitted by
+   walking the links.
+2. **merge** — per-leaf path solutions are joined on their shared
+   pattern-path prefixes into full twig matches.
+
+Compared to the original TwigStack, the sweep buffers some internal-node
+candidates that a full ``getNext`` would prove useless; results are
+identical and the structure (streams, linked stacks, path solutions,
+merge) is the one the paper's TSD builds on.
+
+Scope: data must be a forest and the pattern a tree — exactly [8]'s
+setting.  For DAGs use :class:`repro.baselines.twigstackd.TwigStackD`,
+which layers the SSPI on top of the spanning tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..graph.digraph import DiGraph
+from ..labeling.interval import TreeIntervalCode, build_tree_intervals
+from ..query.pattern import GraphPattern, PatternError
+
+
+@dataclass
+class _StackEntry:
+    node: int
+    parent_index: int  # top of the pattern parent's stack at push, or -1
+
+
+class TwigStack:
+    """Holistic tree-pattern matching over a forest (ancestor-descendant)."""
+
+    def __init__(
+        self, tree_graph: DiGraph, code: Optional[TreeIntervalCode] = None
+    ) -> None:
+        self.graph = tree_graph
+        self.code = code if code is not None else build_tree_intervals(tree_graph)
+        if self.code.non_tree_edges:
+            raise ValueError(
+                "TwigStack requires a forest; the data graph has non-tree "
+                "edges (use TwigStackD for DAGs)"
+            )
+
+    # ------------------------------------------------------------------
+    def match(self, pattern: GraphPattern) -> List[Tuple[int, ...]]:
+        """All matches, sorted, as tuples ordered by ``pattern.variables``."""
+        if pattern.node_count == 1:
+            var = pattern.variables[0]
+            return sorted((v,) for v in self.graph.extent(pattern.label(var)))
+        if not pattern.is_tree():
+            raise PatternError("TwigStack handles tree patterns only")
+
+        start, end = self.code.start, self.code.end
+        root = pattern.root()
+        parent_of: Dict[str, Optional[str]] = {root: None}
+        for src, dst in pattern.conditions:
+            parent_of[dst] = src
+        children = {q: pattern.children(q) for q in pattern.variables}
+        leaves = [q for q in pattern.variables if not children[q]]
+        leaf_chain: Dict[str, List[str]] = {}
+        for leaf in leaves:
+            chain = [leaf]
+            while parent_of[chain[-1]] is not None:
+                chain.append(parent_of[chain[-1]])
+            leaf_chain[leaf] = list(reversed(chain))
+
+        # one merged candidate stream in document (preorder) order
+        sweep: List[Tuple[int, str, int]] = []  # (start, pattern node, node)
+        for q in pattern.variables:
+            for node in self.graph.extent(pattern.label(q)):
+                sweep.append((start[node], q, node))
+        sweep.sort()
+
+        stacks: Dict[str, List[_StackEntry]] = {q: [] for q in pattern.variables}
+        path_solutions: Dict[str, List[Tuple[int, ...]]] = {q: [] for q in leaves}
+
+        def emit_paths(leaf: str, entry: _StackEntry) -> None:
+            chain = leaf_chain[leaf]
+            acc: List[int] = []
+
+            def expand(idx: int, e: _StackEntry) -> None:
+                acc.append(e.node)
+                if idx == 0:
+                    path_solutions[leaf].append(tuple(reversed(acc)))
+                else:
+                    parent_q = chain[idx - 1]
+                    for i in range(e.parent_index + 1):
+                        expand(idx - 1, stacks[parent_q][i])
+                acc.pop()
+
+            expand(len(chain) - 1, entry)
+
+        for point, q, node in sweep:
+            # close every interval that ended before the sweep point
+            for stack in stacks.values():
+                while stack and end[stack[-1].node] < point:
+                    stack.pop()
+            parent_q = parent_of[q]
+            if parent_q is not None and not stacks[parent_q]:
+                continue  # no open ancestor: skip, unbuffered
+            parent_index = (
+                len(stacks[parent_q]) - 1 if parent_q is not None else -1
+            )
+            entry = _StackEntry(node, parent_index)
+            if not children[q]:
+                emit_paths(q, entry)  # leaves never need to stay open
+            else:
+                stacks[q].append(entry)
+
+        # merge the per-leaf path solutions on shared pattern-path prefixes
+        variables = pattern.variables
+        results: set = set()
+        if any(not path_solutions[leaf] for leaf in leaves):
+            return []
+
+        def merge(idx: int, binding: Dict[str, int]) -> None:
+            if idx == len(leaves):
+                results.add(tuple(binding[v] for v in variables))
+                return
+            leaf = leaves[idx]
+            chain = leaf_chain[leaf]
+            for path in path_solutions[leaf]:
+                added: List[str] = []
+                consistent = True
+                for q, candidate in zip(chain, path):
+                    bound = binding.get(q)
+                    if bound is None:
+                        binding[q] = candidate
+                        added.append(q)
+                    elif bound != candidate:
+                        consistent = False
+                        break
+                if consistent:
+                    merge(idx + 1, binding)
+                for q in added:
+                    del binding[q]
+
+        merge(0, {})
+        return sorted(results)

@@ -1,0 +1,206 @@
+"""Command-line interface: build, persist, query and inspect graph databases.
+
+Usage (also via ``python -m repro``)::
+
+    repro build --factor 0.2 --out auctions.db.json     # offline phase
+    repro stats auctions.db.json                         # Table 2-style row
+    repro query auctions.db.json "person -> watch, watch -> open_auction"
+    repro query auctions.db.json "A -> B" --explain --optimizer dp
+    repro query auctions.db.json "A -> B" --limit 5      # streamed probe
+    repro bench --budget 800                             # mini comparison
+
+The CLI wraps the library's public API one-to-one; anything it prints can
+be reproduced programmatically with :class:`repro.GraphEngine`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from . import xmark
+from .db.persist import load_database, save_database
+from .query.engine import GraphEngine
+from .workloads.runner import format_records, run_igmj, run_rjoin, run_tsd
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    started = time.perf_counter()
+    if args.nodes or args.edges:
+        if not (args.nodes and args.edges):
+            print("--nodes and --edges must be given together", file=sys.stderr)
+            return 2
+        from .graph.io import load_edge_list
+
+        graph = load_edge_list(args.nodes, args.edges)
+        print(f"loaded graph from {args.nodes} + {args.edges}: "
+              f"{graph.node_count} nodes, {graph.edge_count} edges, "
+              f"{len(graph.alphabet())} labels")
+    else:
+        if args.dataset:
+            data = xmark.dataset(
+                args.dataset, entity_budget=args.budget, seed=args.seed
+            )
+        else:
+            data = xmark.generate(
+                factor=args.factor, entity_budget=args.budget, seed=args.seed
+            )
+        graph = data.graph
+        print(f"generated XMark-like graph: {graph.node_count} nodes, "
+              f"{graph.edge_count} edges, {len(graph.alphabet())} labels")
+    engine = GraphEngine(graph)
+    summary = engine.stats_summary()
+    print(f"2-hop cover: |H|={summary['cover_size']} "
+          f"(|H|/|V|={summary['cover_ratio']:.3f})")
+    save_database(engine.db, args.out)
+    print(f"saved database to {args.out} "
+          f"({time.perf_counter() - started:.2f}s total)")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    engine = GraphEngine.from_database(load_database(args.database))
+    summary = engine.stats_summary()
+    print(f"{'nodes':>12}: {summary['nodes']}")
+    print(f"{'edges':>12}: {summary['edges']}")
+    print(f"{'|H|':>12}: {summary['cover_size']}")
+    print(f"{'|H|/|V|':>12}: {summary['cover_ratio']:.3f}")
+    print(f"{'centers':>12}: {summary['centers']}")
+    print(f"{'labels':>12}: {len(engine.db.labels())}")
+    if args.labels:
+        print("\nextent sizes:")
+        catalog = engine.db.catalog
+        for label in engine.db.labels():
+            print(f"  {label:>20}: {catalog.extent_size(label)}")
+    if args.storage:
+        print("\nstorage footprint:")
+        for name, info in engine.db.storage_report().items():
+            print(f"  {name:>24}: {info['rows']:>8} rows {info['pages']:>6} pages")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    engine = GraphEngine.from_database(load_database(args.database))
+    if args.explain:
+        print(engine.explain(args.pattern, optimizer=args.optimizer))
+        return 0
+    if args.limit is not None:
+        count = 0
+        for row in engine.match_iter(
+            args.pattern, optimizer=args.optimizer, limit=args.limit
+        ):
+            print("\t".join(str(v) for v in row))
+            count += 1
+        print(f"-- {count} row(s) (limit {args.limit}, streamed)", file=sys.stderr)
+        return 0
+    result = engine.match(args.pattern, optimizer=args.optimizer)
+    print("\t".join(result.columns))
+    shown = result.rows if args.all else result.rows[:args.head]
+    for row in shown:
+        print("\t".join(str(v) for v in row))
+    if not args.all and len(result) > args.head:
+        print(f"... ({len(result) - args.head} more rows; use --all)",
+              file=sys.stderr)
+    metrics = result.metrics
+    print(
+        f"-- {len(result)} row(s) in {metrics.elapsed_seconds * 1e3:.1f} ms, "
+        f"{metrics.physical_io} physical / {metrics.logical_io} logical page I/O",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .baselines.igmj import IGMJEngine
+    from .baselines.twigstackd import TwigStackD
+    from .workloads.patterns import PatternFactory
+    from .workloads.runner import check_agreement
+
+    data = xmark.generate(
+        factor=0.3, entity_budget=args.budget, seed=args.seed,
+        watches_per_person=0.0, catgraph_edges_per_category=0.0,
+    )
+    graph = data.graph
+    print(f"DAG dataset: {graph.node_count} nodes, {graph.edge_count} edges")
+    engine = GraphEngine(graph)
+    tsd = TwigStackD(graph)
+    igmj = IGMJEngine(graph)
+    factory = PatternFactory(engine.db.catalog, seed=args.seed + 4)
+
+    records = []
+    workload = dict(list(factory.figure4_paths().items())[: args.queries])
+    for name, pattern in workload.items():
+        records.append(run_tsd(tsd, name, pattern))
+        records.append(run_igmj(igmj, name, pattern))
+        records.append(run_rjoin(engine, name, pattern, "dp"))
+        records.append(run_rjoin(engine, name, pattern, "dps"))
+    mismatches = check_agreement(records)
+    if mismatches:
+        print(f"ENGINE DISAGREEMENT: {mismatches}", file=sys.stderr)
+        return 1
+    print(format_records(records))
+    print("all engines agree on every query")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fast Graph Pattern Matching (ICDE 2008) — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_build = sub.add_parser("build", help="generate data + build + save a database")
+    p_build.add_argument("--factor", type=float, default=0.2,
+                         help="XMark scaling factor (default 0.2)")
+    p_build.add_argument("--dataset", choices=sorted(xmark.DATASET_FACTORS),
+                         help="use a named dataset of the benchmark ladder instead")
+    p_build.add_argument("--budget", type=int, default=1500,
+                         help="entity budget at factor 1.0 (default 1500)")
+    p_build.add_argument("--seed", type=int, default=7)
+    p_build.add_argument("--nodes", help="load a custom graph: nodes TSV (id<TAB>label)")
+    p_build.add_argument("--edges", help="load a custom graph: edges TSV (src<TAB>dst)")
+    p_build.add_argument("--out", required=True, help="output .json path")
+    p_build.set_defaults(func=_cmd_build)
+
+    p_stats = sub.add_parser("stats", help="show a saved database's statistics")
+    p_stats.add_argument("database")
+    p_stats.add_argument("--labels", action="store_true",
+                         help="also list per-label extent sizes")
+    p_stats.add_argument("--storage", action="store_true",
+                         help="also show the page footprint per structure")
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_query = sub.add_parser("query", help="match a pattern against a database")
+    p_query.add_argument("database")
+    p_query.add_argument("pattern", help='e.g. "A -> B, B -> C" or "x:A -> y:B"')
+    p_query.add_argument("--optimizer", choices=("dp", "dps", "greedy"),
+                         default="dps")
+    p_query.add_argument("--explain", action="store_true",
+                         help="print the plan instead of executing")
+    p_query.add_argument("--limit", type=int, default=None,
+                         help="stream at most N rows (pipelined execution)")
+    p_query.add_argument("--head", type=int, default=20,
+                         help="rows to print without --all (default 20)")
+    p_query.add_argument("--all", action="store_true", help="print every row")
+    p_query.set_defaults(func=_cmd_query)
+
+    p_bench = sub.add_parser("bench", help="mini 4-engine comparison run")
+    p_bench.add_argument("--budget", type=int, default=800)
+    p_bench.add_argument("--seed", type=int, default=7)
+    p_bench.add_argument("--queries", type=int, default=5,
+                         help="number of path queries to run (default 5)")
+    p_bench.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests
+    raise SystemExit(main())

@@ -1,0 +1,16 @@
+"""The graph database: base tables, cluster-based R-join index, catalog."""
+
+from .catalog import Catalog, PairStats
+from .database import CodeCache, GraphDatabase
+from .join_index import ClusterRJoinIndex
+from .persist import load_database, save_database
+
+__all__ = [
+    "Catalog",
+    "PairStats",
+    "CodeCache",
+    "GraphDatabase",
+    "ClusterRJoinIndex",
+    "load_database",
+    "save_database",
+]

@@ -1,0 +1,217 @@
+"""The graph database GDB: base tables + R-join index + catalog.
+
+Paper Section 3: "Based on the 2-hop reachability labeling, we store graph
+G_D into a database, G_DB, by taking a node-oriented representation.
+There are |Σ| tables for G_D.  A table T_X, for a label X ∈ Σ, has three
+columns named X, X_in and X_out. ... We assume that the X column is the
+primary key of the table."  The in/out columns store the *compact* codes
+(the node itself removed, per Example 3.1); :meth:`out_code`/
+:meth:`in_code` re-add it.
+
+``getCenters(x, X, Y) = out(x) ∩ W(X, Y)`` (Eq. 6) "needs to access the
+base table T_X using the primary index.  We use a working cache to cache
+those pairs of (x_i, out(x_i)) ... to reduce the access cost for later
+reuse" — implemented by :class:`CodeCache`, which can be disabled for the
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from ..graph.digraph import DiGraph
+from ..labeling.twohop import TwoHopLabeling, build_two_hop
+from ..storage.buffer import DEFAULT_BUFFER_BYTES, BufferPool
+from ..storage.pages import DEFAULT_PAGE_SIZE, DiskManager
+from ..storage.stats import IOStats
+from ..storage.table import Table
+from .catalog import Catalog
+from .join_index import ClusterRJoinIndex
+
+
+@dataclass
+class CodeCache:
+    """Working cache for (node, in/out graph code) pairs.
+
+    Unbounded by default (the paper does not bound it either); ``enabled``
+    and the hit/miss counters exist for the working-cache ablation.
+    """
+
+    enabled: bool = True
+    hits: int = 0
+    misses: int = 0
+    _store: Dict[Tuple[int, str], FrozenSet[int]] = field(default_factory=dict)
+
+    def get(self, node: int, side: str) -> Optional[FrozenSet[int]]:
+        if not self.enabled:
+            self.misses += 1
+            return None
+        code = self._store.get((node, side))
+        if code is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return code
+
+    def put(self, node: int, side: str, code: FrozenSet[int]) -> None:
+        if self.enabled:
+            self._store[(node, side)] = code
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+class GraphDatabase:
+    """A data graph stored as per-label base tables with graph codes.
+
+    Parameters
+    ----------
+    graph:
+        The data graph (it is retained only for labels/extents; queries
+        never traverse it).
+    labeling:
+        An optional precomputed 2-hop labeling (otherwise built here).
+    buffer_bytes / page_size:
+        Storage-engine configuration; the paper's setup is a 1 MiB buffer.
+    code_cache_enabled:
+        Toggle the getCenters working cache (ablation hook).
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        labeling: Optional[TwoHopLabeling] = None,
+        buffer_bytes: int = DEFAULT_BUFFER_BYTES,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        code_cache_enabled: bool = True,
+    ) -> None:
+        self.graph = graph
+        self.stats = IOStats()
+        self.pool = BufferPool(
+            DiskManager(page_size=page_size),
+            capacity_bytes=buffer_bytes,
+            stats=self.stats,
+        )
+        self.labeling = labeling if labeling is not None else build_two_hop(graph)
+        if self.labeling.node_count != graph.node_count:
+            raise ValueError(
+                "labeling covers "
+                f"{self.labeling.node_count} nodes but graph has {graph.node_count}"
+            )
+        self.base_tables: Dict[str, Table] = {}
+        self._load_base_tables()
+        self.join_index = ClusterRJoinIndex(self.pool, graph, self.labeling)
+        self.catalog = Catalog(graph, self.labeling)
+        self.code_cache = CodeCache(enabled=code_cache_enabled)
+        self._node_labels = list(graph.labels())
+        self.pool.flush_all()
+
+    # ------------------------------------------------------------------
+    def _load_base_tables(self) -> None:
+        for label, nodes in sorted(self.graph.extents().items()):
+            table = Table(
+                self.pool,
+                name=f"T_{label}",
+                columns=(label, f"{label}_in", f"{label}_out"),
+                primary_key=label,
+            )
+            for node in nodes:
+                in_code = self.labeling.in_codes[node]
+                out_code = self.labeling.out_codes[node]
+                table.insert(
+                    (
+                        node,
+                        tuple(sorted(in_code - {node})),
+                        tuple(sorted(out_code - {node})),
+                    )
+                )
+            self.base_tables[label] = table
+
+    # ------------------------------------------------------------------
+    # public access paths
+    # ------------------------------------------------------------------
+    def labels(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.base_tables))
+
+    def base_table(self, label: str) -> Table:
+        try:
+            return self.base_tables[label]
+        except KeyError:
+            raise KeyError(
+                f"no base table for label {label!r}; labels are {self.labels()}"
+            ) from None
+
+    def node_label(self, node: int) -> str:
+        return self._node_labels[node]
+
+    def out_code(self, node: int) -> FrozenSet[int]:
+        """``out(x)`` — fetched via the primary index, with working cache."""
+        return self._code(node, "out")
+
+    def in_code(self, node: int) -> FrozenSet[int]:
+        """``in(x)`` — fetched via the primary index, with working cache."""
+        return self._code(node, "in")
+
+    def _code(self, node: int, side: str) -> FrozenSet[int]:
+        cached = self.code_cache.get(node, side)
+        if cached is not None:
+            return cached
+        label = self._node_labels[node]
+        row = self.base_table(label).fetch_by_key(node)
+        if row is None:
+            raise KeyError(f"node {node} not found in base table T_{label}")
+        stored = row[2] if side == "out" else row[1]
+        code = frozenset(stored) | {node}
+        self.code_cache.put(node, side, code)
+        return code
+
+    def get_centers(self, node: int, x_label: str, y_label: str) -> FrozenSet[int]:
+        """``getCenters(x, X, Y) = out(x) ∩ W(X, Y)`` (Eq. 6)."""
+        wxy = self.join_index.centers(x_label, y_label)
+        return self.out_code(node) & frozenset(wxy)
+
+    def get_centers_reverse(self, node: int, x_label: str, y_label: str) -> FrozenSet[int]:
+        """Mirror of Eq. 6 for the Y side: ``in(y) ∩ W(X, Y)``."""
+        wxy = self.join_index.centers(x_label, y_label)
+        return self.in_code(node) & frozenset(wxy)
+
+    def reaches(self, u: int, v: int) -> bool:
+        """Reachability through stored codes: ``out(u) ∩ in(v) ≠ ∅``."""
+        return not self.out_code(u).isdisjoint(self.in_code(v))
+
+    def storage_report(self) -> Dict[str, Dict[str, int]]:
+        """Page/row footprint of every stored structure.
+
+        Returns ``{structure: {"rows": ..., "pages": ...}}`` for each base
+        table (heap + primary index height folded into "pages" is not
+        attempted — index pages are shared in the pool), plus totals for
+        the whole simulated disk.  Useful for sizing buffer budgets and
+        for the Table 2-style reporting the CLI's ``stats`` command does.
+        """
+        report: Dict[str, Dict[str, int]] = {}
+        for label, table in sorted(self.base_tables.items()):
+            report[f"T_{label}"] = {
+                "rows": len(table),
+                "pages": table.page_count,
+            }
+        report["__disk__"] = {
+            "rows": sum(len(t) for t in self.base_tables.values()),
+            "pages": self.pool.disk.page_count,
+        }
+        return report
+
+    # ------------------------------------------------------------------
+    def reset_counters(self) -> None:
+        """Clear I/O stats and the working cache (cold-start a query)."""
+        self.stats.reset()
+        self.code_cache.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GraphDatabase(labels={len(self.base_tables)}, "
+            f"nodes={self.graph.node_count}, "
+            f"centers={self.join_index.center_count})"
+        )

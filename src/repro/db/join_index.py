@@ -1,0 +1,102 @@
+"""The cluster-based R-join index and the W-table (paper Section 3.2).
+
+The index is "a B+-tree in which its non-leaf blocks are used for finding
+a given center w.  In the leaf nodes, for each center w, its U_w and V_w,
+denoted F-cluster and T-cluster, are maintained.  We further divide w's
+F-cluster and T-cluster into labeled F-subclusters/T-subclusters where
+every node x in an X-labeled F-subcluster can reach every node y in a
+Y-labeled T-subcluster via w."  Crucially it stores *node identifiers*,
+not tuple pointers, so many R-joins never touch the base tables at all.
+
+The W-table maps a label pair ``(X, Y)`` to the centers that have both a
+non-empty X-labeled F-subcluster and a non-empty Y-labeled T-subcluster;
+it is "stored on disk with a B+-tree, and accessed by a pair of labels
+(X, Y) as a key".  Both structures here live on the simulated storage
+engine, so every probe is charged buffer-pool I/O.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..graph.digraph import DiGraph
+from ..labeling.twohop import TwoHopLabeling
+from ..storage.bptree import BPlusTree
+from ..storage.buffer import BufferPool
+
+_EMPTY: Tuple[int, ...] = ()
+
+
+class ClusterRJoinIndex:
+    """B+-tree of per-center labeled F/T-subclusters, plus the W-table."""
+
+    def __init__(
+        self,
+        pool: BufferPool,
+        graph: DiGraph,
+        labeling: TwoHopLabeling,
+        fanout: int = 64,
+    ) -> None:
+        self.pool = pool
+        self._tree = BPlusTree(pool, name="rjoin-index", fanout=fanout, unique=True)
+        self._wtable = BPlusTree(pool, name="w-table", fanout=fanout, unique=True)
+        self._center_count = 0
+        self._build(graph, labeling)
+
+    # ------------------------------------------------------------------
+    def _build(self, graph: DiGraph, labeling: TwoHopLabeling) -> None:
+        clusters = labeling.clusters()
+        self._center_count = len(clusters)
+        wtable_accumulator: Dict[Tuple[str, str], List[int]] = {}
+        for center in sorted(clusters):
+            f_cluster, t_cluster = clusters[center]
+            f_sub: Dict[str, List[int]] = {}
+            for node in f_cluster:
+                f_sub.setdefault(graph.label(node), []).append(node)
+            t_sub: Dict[str, List[int]] = {}
+            for node in t_cluster:
+                t_sub.setdefault(graph.label(node), []).append(node)
+            leaf_value = (
+                {label: tuple(nodes) for label, nodes in f_sub.items()},
+                {label: tuple(nodes) for label, nodes in t_sub.items()},
+            )
+            self._tree.insert(center, leaf_value)
+            for x_label in f_sub:
+                for y_label in t_sub:
+                    wtable_accumulator.setdefault((x_label, y_label), []).append(center)
+        for pair, centers in sorted(wtable_accumulator.items()):
+            self._wtable.insert(pair, tuple(centers))
+
+    # ------------------------------------------------------------------
+    # paper API
+    # ------------------------------------------------------------------
+    def centers(self, x_label: str, y_label: str) -> Tuple[int, ...]:
+        """``W(X, Y)``: centers joining X-labeled to Y-labeled nodes."""
+        return self._wtable.search((x_label, y_label), _EMPTY)
+
+    def get_f(self, center: int, label: str) -> Tuple[int, ...]:
+        """``getF(w, X)``: the X-labeled F-subcluster of *center*."""
+        leaf = self._tree.search(center)
+        if leaf is None:
+            return _EMPTY
+        return leaf[0].get(label, _EMPTY)
+
+    def get_t(self, center: int, label: str) -> Tuple[int, ...]:
+        """``getT(w, Y)``: the Y-labeled T-subcluster of *center*."""
+        leaf = self._tree.search(center)
+        if leaf is None:
+            return _EMPTY
+        return leaf[1].get(label, _EMPTY)
+
+    # ------------------------------------------------------------------
+    @property
+    def center_count(self) -> int:
+        return self._center_count
+
+    def wtable_pairs(self) -> List[Tuple[str, str]]:
+        """All (X, Y) label pairs with at least one center."""
+        return [pair for pair, _ in self._wtable.items()]
+
+    def wtable_sizes(self) -> Dict[Tuple[str, str], int]:
+        """Number of centers per W-table entry (used by the catalog)."""
+        return {pair: len(centers) for pair, centers in self._wtable.items()}

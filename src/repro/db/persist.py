@@ -1,0 +1,85 @@
+"""Persistence: save and load a graph database's offline structures.
+
+The paper's offline phase (2-hop cover + base tables + join index) is the
+expensive part of the system, so a production deployment computes it once
+and reloads it across sessions.  This module serializes the two inputs
+that determine everything else — the data graph and its 2-hop labeling —
+to a single JSON file; :func:`load_database` rebuilds the
+:class:`~repro.db.database.GraphDatabase` (tables, cluster index, W-table,
+catalog) from them deterministically.
+
+JSON was chosen over pickle deliberately: the file is portable across
+Python versions, diffable, and cannot execute code on load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from ..graph.digraph import DiGraph
+from ..labeling.twohop import TwoHopLabeling
+from ..storage.buffer import DEFAULT_BUFFER_BYTES
+from .database import GraphDatabase
+
+FORMAT_VERSION = 1
+
+
+def _labeling_payload(labeling: TwoHopLabeling) -> dict:
+    return {
+        "in_codes": [sorted(code) for code in labeling.in_codes],
+        "out_codes": [sorted(code) for code in labeling.out_codes],
+    }
+
+
+def save_database(db: GraphDatabase, path: str) -> None:
+    """Serialize *db*'s graph and 2-hop labeling to *path* (JSON)."""
+    graph = db.graph
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "graph": {
+            "labels": list(graph.labels()),
+            "edges": [[u, v] for u, v in graph.edges()],
+        },
+        "labeling": _labeling_payload(db.labeling),
+    }
+    tmp_path = f"{path}.tmp"
+    with open(tmp_path, "w") as f:
+        json.dump(payload, f)
+    os.replace(tmp_path, path)  # atomic on POSIX: no torn files on crash
+
+
+def load_database(
+    path: str,
+    buffer_bytes: int = DEFAULT_BUFFER_BYTES,
+    code_cache_enabled: bool = True,
+) -> GraphDatabase:
+    """Rebuild a :class:`GraphDatabase` from a file written by
+    :func:`save_database`.
+
+    The stored labeling is reused verbatim — the expensive 2-hop
+    construction is *not* rerun; only the (cheap, deterministic) table and
+    index loading happens.
+    """
+    with open(path) as f:
+        payload = json.load(f)
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported database file version {version!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    graph = DiGraph()
+    graph.add_nodes(payload["graph"]["labels"])
+    graph.add_edges((u, v) for u, v in payload["graph"]["edges"])
+    labeling = TwoHopLabeling(
+        in_codes=[frozenset(code) for code in payload["labeling"]["in_codes"]],
+        out_codes=[frozenset(code) for code in payload["labeling"]["out_codes"]],
+    )
+    return GraphDatabase(
+        graph,
+        labeling=labeling,
+        buffer_bytes=buffer_bytes,
+        code_cache_enabled=code_cache_enabled,
+    )

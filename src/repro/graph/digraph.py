@@ -1,0 +1,201 @@
+"""Directed node-labeled graphs — the paper's data-graph model.
+
+The paper (Section 2) defines a data graph as ``G_D = (V, E, Sigma, phi)``
+where ``V`` is a node set, ``E`` a set of directed edges, ``Sigma`` a label
+alphabet, and ``phi`` assigns each node exactly one label.  The *extent* of a
+label ``X``, written ``ext(X)``, is the set of nodes labeled ``X``.
+
+:class:`DiGraph` is the single graph type used across the whole library: the
+XMark generator produces one, the 2-hop labeler and interval coders consume
+one, and the graph database (:mod:`repro.db.database`) is built from one.
+
+Nodes are dense integer identifiers ``0..n-1``; adjacency is stored as Python
+lists of ints, which keeps the structure compact and makes traversal loops
+cheap.  The class is deliberately small — algorithms live in
+:mod:`repro.graph.traversal` and :mod:`repro.graph.condensation`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+
+class GraphError(ValueError):
+    """Raised for structurally invalid graph operations."""
+
+
+class DiGraph:
+    """A directed graph whose nodes carry exactly one label each.
+
+    Parameters
+    ----------
+    n:
+        Optional initial number of (unlabeled) nodes; they receive the
+        default label ``"?"`` until relabeled.
+
+    Examples
+    --------
+    >>> g = DiGraph()
+    >>> a = g.add_node("A")
+    >>> c = g.add_node("C")
+    >>> g.add_edge(a, c)
+    >>> g.label(a), g.successors(a)
+    ('A', [1])
+    """
+
+    __slots__ = ("_labels", "_succ", "_pred", "_edge_count", "_extent_cache")
+
+    DEFAULT_LABEL = "?"
+
+    def __init__(self, n: int = 0) -> None:
+        self._labels: List[str] = [self.DEFAULT_LABEL] * n
+        self._succ: List[List[int]] = [[] for _ in range(n)]
+        self._pred: List[List[int]] = [[] for _ in range(n)]
+        self._edge_count = 0
+        self._extent_cache: Dict[str, Tuple[int, ...]] | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, label: str = DEFAULT_LABEL) -> int:
+        """Add a node with the given label and return its identifier."""
+        self._labels.append(label)
+        self._succ.append([])
+        self._pred.append([])
+        self._extent_cache = None
+        return len(self._labels) - 1
+
+    def add_nodes(self, labels: Iterable[str]) -> List[int]:
+        """Add one node per label; return the new identifiers in order."""
+        return [self.add_node(label) for label in labels]
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Add the directed edge ``u -> v`` (parallel edges are kept)."""
+        self._check_node(u)
+        self._check_node(v)
+        self._succ[u].append(v)
+        self._pred[v].append(u)
+        self._edge_count += 1
+
+    def add_edges(self, edges: Iterable[Tuple[int, int]]) -> None:
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def set_label(self, v: int, label: str) -> None:
+        self._check_node(v)
+        self._labels[v] = label
+        self._extent_cache = None
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def node_count(self) -> int:
+        return len(self._labels)
+
+    @property
+    def edge_count(self) -> int:
+        return self._edge_count
+
+    def nodes(self) -> range:
+        return range(len(self._labels))
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        for u, targets in enumerate(self._succ):
+            for v in targets:
+                yield (u, v)
+
+    def label(self, v: int) -> str:
+        self._check_node(v)
+        return self._labels[v]
+
+    def labels(self) -> Sequence[str]:
+        """The label of every node, indexed by node id."""
+        return self._labels
+
+    def alphabet(self) -> List[str]:
+        """All distinct labels, sorted."""
+        return sorted(set(self._labels))
+
+    def successors(self, v: int) -> List[int]:
+        self._check_node(v)
+        return self._succ[v]
+
+    def predecessors(self, v: int) -> List[int]:
+        self._check_node(v)
+        return self._pred[v]
+
+    def out_degree(self, v: int) -> int:
+        return len(self.successors(v))
+
+    def in_degree(self, v: int) -> int:
+        return len(self.predecessors(v))
+
+    def extent(self, label: str) -> Tuple[int, ...]:
+        """``ext(label)``: all nodes carrying *label* (paper Section 2)."""
+        return self.extents().get(label, ())
+
+    def extents(self) -> Dict[str, Tuple[int, ...]]:
+        """Mapping of every label to its extent; cached until mutation."""
+        if self._extent_cache is None:
+            grouped: Dict[str, List[int]] = defaultdict(list)
+            for v, label in enumerate(self._labels):
+                grouped[label].append(v)
+            self._extent_cache = {
+                label: tuple(nodes) for label, nodes in grouped.items()
+            }
+        return self._extent_cache
+
+    def has_edge(self, u: int, v: int) -> bool:
+        self._check_node(u)
+        self._check_node(v)
+        # scan the smaller adjacency side
+        if len(self._succ[u]) <= len(self._pred[v]):
+            return v in self._succ[u]
+        return u in self._pred[v]
+
+    # ------------------------------------------------------------------
+    # transforms
+    # ------------------------------------------------------------------
+    def reversed(self) -> "DiGraph":
+        """A new graph with every edge direction flipped (labels kept)."""
+        rev = DiGraph()
+        rev._labels = list(self._labels)
+        rev._succ = [list(p) for p in self._pred]
+        rev._pred = [list(s) for s in self._succ]
+        rev._edge_count = self._edge_count
+        return rev
+
+    def subgraph(self, keep: Iterable[int]) -> Tuple["DiGraph", Dict[int, int]]:
+        """Induced subgraph on *keep*; returns (graph, old->new id map)."""
+        keep_list = sorted(set(keep))
+        remap = {old: new for new, old in enumerate(keep_list)}
+        sub = DiGraph()
+        for old in keep_list:
+            sub.add_node(self._labels[old])
+        for old in keep_list:
+            u = remap[old]
+            for tgt in self._succ[old]:
+                if tgt in remap:
+                    sub.add_edge(u, remap[tgt])
+        return sub, remap
+
+    def copy(self) -> "DiGraph":
+        dup = DiGraph()
+        dup._labels = list(self._labels)
+        dup._succ = [list(s) for s in self._succ]
+        dup._pred = [list(p) for p in self._pred]
+        dup._edge_count = self._edge_count
+        return dup
+
+    # ------------------------------------------------------------------
+    def _check_node(self, v: int) -> None:
+        if not 0 <= v < len(self._labels):
+            raise GraphError(f"node {v} not in graph of size {len(self._labels)}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DiGraph(nodes={self.node_count}, edges={self.edge_count}, "
+            f"labels={len(set(self._labels))})"
+        )

@@ -1,0 +1,131 @@
+"""Incremental reachability on top of a static 2-hop labeling.
+
+The paper builds its codes offline and cites the *2-hop cover update
+problem* [24] for maintenance under graph changes.  This module provides
+the standard practical answer: a hybrid oracle that keeps the static
+labeling for the bulk of the graph and handles a (small) set of *patch
+edges* added since the last build.
+
+``u ~> v`` holds in the updated graph iff there is a chain
+
+    u  ~>_static  a_1  ->patch  b_1  ~>_static  a_2  ->patch ...  ~>_static  v
+
+i.e. static reachability interleaved with patch edges.  The oracle
+searches that chain over the patch-edge endpoints only, so queries stay
+fast while the patch set is small; :meth:`DynamicReachability.rebuild`
+folds patches into a fresh static labeling when they accumulate (the
+amortized strategy incremental-maintenance systems use in practice).
+
+Deletions are intentionally unsupported: removing an edge can invalidate
+arbitrarily many cover entries (the hard direction of [24]); a rebuild is
+the honest answer at this library's scale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..graph.digraph import DiGraph
+from .twohop import TwoHopLabeling, build_two_hop
+
+
+class DynamicReachability:
+    """Reachability over a mutable digraph: static 2-hop + patch edges.
+
+    Parameters
+    ----------
+    graph:
+        The data graph; mutated in place by :meth:`add_edge` /
+        :meth:`add_node`.
+    labeling:
+        Optional prebuilt static labeling for *graph*.
+    auto_rebuild_after:
+        Fold patches into a fresh static labeling once this many patch
+        edges accumulate (None disables auto-rebuild).
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        labeling: Optional[TwoHopLabeling] = None,
+        auto_rebuild_after: Optional[int] = 256,
+    ) -> None:
+        self.graph = graph
+        self.labeling = labeling if labeling is not None else build_two_hop(graph)
+        self.auto_rebuild_after = auto_rebuild_after
+        self._patch_edges: List[Tuple[int, int]] = []
+        # patch sources grouped for the chain search
+        self._patch_from: Dict[int, List[int]] = {}
+        self._new_nodes: Set[int] = set()
+        self.rebuild_count = 0
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add_node(self, label: str) -> int:
+        """Add a labeled node; it is immediately queryable."""
+        node = self.graph.add_node(label)
+        self._new_nodes.add(node)
+        return node
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Add edge ``u -> v``; reachability reflects it immediately."""
+        self.graph.add_edge(u, v)
+        self._patch_edges.append((u, v))
+        self._patch_from.setdefault(u, []).append(v)
+        if (
+            self.auto_rebuild_after is not None
+            and len(self._patch_edges) >= self.auto_rebuild_after
+        ):
+            self.rebuild()
+
+    def rebuild(self) -> None:
+        """Recompute the static labeling; clears the patch set."""
+        self.labeling = build_two_hop(self.graph)
+        self._patch_edges.clear()
+        self._patch_from.clear()
+        self._new_nodes.clear()
+        self.rebuild_count += 1
+
+    @property
+    def patch_size(self) -> int:
+        return len(self._patch_edges)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def _static_reaches(self, u: int, v: int) -> bool:
+        """Static-labeling reachability, treating post-build nodes as
+        isolated (they reach only themselves statically)."""
+        if u == v:
+            return True
+        if u in self._new_nodes or v in self._new_nodes:
+            return False
+        return self.labeling.reaches(u, v)
+
+    def reaches(self, u: int, v: int) -> bool:
+        """``u ~> v`` in the *current* graph (static + patch edges)."""
+        if self._static_reaches(u, v):
+            return True
+        if not self._patch_edges:
+            return False
+        # BFS over patch-edge hops: frontier holds patch-edge *targets*
+        # (plus u itself) whose static closure has been explored
+        visited: Set[int] = set()
+        frontier = [u]
+        while frontier:
+            node = frontier.pop()
+            for source, targets in self._patch_from.items():
+                if source in visited:
+                    continue
+                if self._static_reaches(node, source):
+                    visited.add(source)
+                    for target in targets:
+                        if target == v or self._static_reaches(target, v):
+                            return True
+                        frontier.append(target)
+        return False
+
+    def reachable_pairs_added(self) -> int:  # pragma: no cover - diagnostics
+        """Patch edges currently outstanding (diagnostic alias)."""
+        return len(self._patch_edges)

@@ -1,0 +1,204 @@
+"""Interval-based reachability codes for the two baselines.
+
+Two coders live here:
+
+* :class:`TreeIntervalCode` — classic XML-style pre/post intervals over a
+  DFS *spanning tree* of a DAG.  ``u`` is a spanning-tree ancestor of ``v``
+  iff ``interval(u)`` contains ``interval(v)``.  TwigStackD (paper
+  Section 5.1) uses these for its first phase and falls back to the SSPI
+  for reachability that the spanning tree misses.
+
+* :class:`MultiIntervalCode` — the Agrawal-Borgida-Jagadish code [2] used
+  by IGMJ (paper Section 5.2): each DAG node gets a postorder number and a
+  *set of disjoint intervals* such that ``u ~> v`` iff ``post(v)`` falls
+  inside one of ``u``'s intervals.  Built bottom-up in reverse topological
+  order by merging successor interval sets.  For cyclic graphs, nodes of
+  an SCC share the code of their condensed representative — exactly the
+  paper's construction ("nodes in a strongly connected component share the
+  same code assigned to the corresponding representative node").
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..graph.condensation import Condensation, condense
+from ..graph.digraph import DiGraph, GraphError
+from ..graph.traversal import topological_sort
+
+Interval = Tuple[int, int]
+
+
+def merge_intervals(intervals: List[Interval]) -> List[Interval]:
+    """Merge overlapping / adjacent integer intervals into a disjoint list."""
+    if not intervals:
+        return []
+    intervals.sort()
+    merged = [intervals[0]]
+    for lo, hi in intervals[1:]:
+        last_lo, last_hi = merged[-1]
+        if lo <= last_hi + 1:  # adjacent integers coalesce: [1,2]+[3,4] = [1,4]
+            if hi > last_hi:
+                merged[-1] = (last_lo, hi)
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+def point_in_intervals(intervals: Sequence[Interval], point: int) -> bool:
+    """Membership test against a sorted disjoint interval list."""
+    pos = bisect.bisect_right(intervals, (point, float("inf"))) - 1
+    return pos >= 0 and intervals[pos][0] <= point <= intervals[pos][1]
+
+
+# ----------------------------------------------------------------------
+# spanning-tree pre/post intervals
+# ----------------------------------------------------------------------
+@dataclass
+class TreeIntervalCode:
+    """Pre/post intervals over a DFS spanning forest of a DAG.
+
+    ``start[v]``/``end[v]`` delimit v's subtree in the spanning forest:
+    ``tree_ancestor(u, v)`` iff ``start[u] <= start[v]`` and
+    ``end[v] <= end[u]``.  ``tree_parent[v]`` is -1 for forest roots.
+    ``non_tree_edges`` are the edges the DFS did not take ("remaining
+    edges" in Chen et al.'s terminology) — the SSPI indexes them.
+    """
+
+    start: List[int]
+    end: List[int]
+    tree_parent: List[int]
+    non_tree_edges: List[Tuple[int, int]]
+
+    def tree_ancestor(self, u: int, v: int) -> bool:
+        """True iff u is an ancestor of v (or u == v) in the spanning tree."""
+        return self.start[u] <= self.start[v] and self.end[v] <= self.end[u]
+
+
+def build_tree_intervals(dag: DiGraph) -> TreeIntervalCode:
+    """DFS spanning forest + intervals; raises on cyclic input.
+
+    Roots are taken in order of zero in-degree (then any unvisited node),
+    and DFS follows adjacency order, so the code is deterministic.
+    """
+    topological_sort(dag)  # raises GraphError on a cycle
+    n = dag.node_count
+    start = [0] * n
+    end = [0] * n
+    parent = [-1] * n
+    visited = bytearray(n)
+    non_tree: List[Tuple[int, int]] = []
+    clock = 0
+
+    roots = [v for v in range(n) if dag.in_degree(v) == 0]
+    roots.extend(v for v in range(n) if dag.in_degree(v) > 0)
+    for root in roots:
+        if visited[root]:
+            continue
+        visited[root] = 1
+        stack: List[Tuple[int, int]] = [(root, 0)]
+        start[root] = clock
+        clock += 1
+        while stack:
+            node, child_pos = stack[-1]
+            successors = dag.successors(node)
+            advanced = False
+            for pos in range(child_pos, len(successors)):
+                child = successors[pos]
+                if visited[child]:
+                    non_tree.append((node, child))
+                    continue
+                visited[child] = 1
+                parent[child] = node
+                start[child] = clock
+                clock += 1
+                stack[-1] = (node, pos + 1)
+                stack.append((child, 0))
+                advanced = True
+                break
+            if not advanced:
+                end[node] = clock
+                clock += 1
+                stack.pop()
+    return TreeIntervalCode(
+        start=start, end=end, tree_parent=parent, non_tree_edges=non_tree
+    )
+
+
+# ----------------------------------------------------------------------
+# multi-interval DAG code (Agrawal et al.)
+# ----------------------------------------------------------------------
+@dataclass
+class MultiIntervalCode:
+    """Postorder numbers + disjoint interval sets over a digraph.
+
+    ``post[v]`` and ``intervals[v]`` are defined for every *original*
+    node; members of one SCC share their representative's values.  The
+    reachability test is ``reaches(u, v) = post[v] in intervals[u]``.
+    """
+
+    post: List[int]
+    intervals: List[List[Interval]]
+    condensation: Condensation
+
+    def reaches(self, u: int, v: int) -> bool:
+        return point_in_intervals(self.intervals[u], self.post[v])
+
+    def total_intervals(self) -> int:
+        """Number of interval entries across all *condensed* nodes.
+
+        This is the size of IGMJ's Xlist universe: each node contributes
+        one Xlist entry per interval (paper Section 5.2).
+        """
+        seen = set()
+        total = 0
+        for scc, members in enumerate(self.condensation.members):
+            if scc not in seen:
+                seen.add(scc)
+                total += len(self.intervals[members[0]])
+        return total
+
+
+def build_multi_interval(graph: DiGraph) -> MultiIntervalCode:
+    """Build the multi-interval code for an arbitrary digraph.
+
+    Steps (paper Section 5.2): condense SCCs to a DAG G'; assign each DAG
+    node a postorder number from a DFS spanning forest; then, in reverse
+    topological order, set ``I(v)`` to the merge of its own subtree
+    interval and all successors' interval sets.  Using the DFS subtree
+    interval ``[min_post_in_subtree, post(v)]`` (rather than the single
+    point) is what makes the interval sets compact.
+    """
+    cond = condense(graph)
+    dag = cond.dag
+    n = dag.node_count
+
+    tree = build_tree_intervals(dag)
+    # postorder rank from DFS end-times: dense 0..n-1, subtree-contiguous
+    order_by_end = sorted(range(n), key=lambda v: tree.end[v])
+    post = [0] * n
+    for rank, v in enumerate(order_by_end):
+        post[v] = rank
+    # lowest postorder within v's spanning subtree
+    min_post = list(post)
+    for v in sorted(range(n), key=lambda v: -tree.start[v]):
+        parent = tree.tree_parent[v]
+        if parent != -1 and min_post[v] < min_post[parent]:
+            min_post[parent] = min_post[v]
+
+    intervals: List[List[Interval]] = [[] for _ in range(n)]
+    for v in reversed(topological_sort(dag)):
+        collected: List[Interval] = [(min_post[v], post[v])]
+        for child in dag.successors(v):
+            collected.extend(intervals[child])
+        intervals[v] = merge_intervals(collected)
+
+    full_post = [0] * graph.node_count
+    full_intervals: List[List[Interval]] = [[] for _ in range(graph.node_count)]
+    for scc in range(n):
+        for node in cond.members[scc]:
+            full_post[node] = post[scc]
+            full_intervals[node] = intervals[scc]
+    return MultiIntervalCode(post=full_post, intervals=full_intervals, condensation=cond)

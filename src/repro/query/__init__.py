@@ -1,0 +1,48 @@
+"""Query layer: patterns, R-join operators, optimizers, execution."""
+
+from .algebra import (
+    FetchStep,
+    RowLimitExceeded,
+    FilterStep,
+    Plan,
+    SeedJoin,
+    SeedScan,
+    SelectionStep,
+    Side,
+    TemporalTable,
+)
+from .costmodel import CostModel, CostParams
+from .engine import GraphEngine
+from .executor import QueryResult, RunMetrics, execute_plan
+from .pipeline import execute_plan_streaming
+from .optimizer_dp import OptimizedPlan, optimize_dp, optimize_greedy
+from .optimizer_dps import optimize_dps
+from .parser import parse_pattern
+from .pattern import Condition, GraphPattern, PatternError
+
+__all__ = [
+    "FetchStep",
+    "RowLimitExceeded",
+    "FilterStep",
+    "Plan",
+    "SeedJoin",
+    "SeedScan",
+    "SelectionStep",
+    "Side",
+    "TemporalTable",
+    "CostModel",
+    "CostParams",
+    "GraphEngine",
+    "QueryResult",
+    "RunMetrics",
+    "execute_plan",
+    "execute_plan_streaming",
+    "OptimizedPlan",
+    "optimize_dp",
+    "optimize_dps",
+    "optimize_greedy",
+    "parse_pattern",
+    "Condition",
+    "GraphPattern",
+    "PatternError",
+]

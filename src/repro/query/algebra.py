@@ -1,0 +1,273 @@
+"""Plan algebra: temporal tables and the R-join/R-semijoin plan steps.
+
+A query plan for a pattern is a *left-deep* sequence of steps (paper
+Section 4): the first step seeds a temporal table (an HPSJ R-join of two
+base tables, or an extent scan for single-variable patterns) and every
+later step is one of
+
+* ``FilterStep`` — one shared scan applying one or more R-semijoins
+  (``Filter`` of Algorithm 2 / Eq. 7-8; several conditions on the same
+  scanned variable are processed together per Remark 3.1);
+* ``FetchStep`` — the ``Fetch`` half of Algorithm 2, completing an R-join
+  whose Filter already ran and materializing a new variable column;
+* ``SelectionStep`` — a *self R-join* (Eq. 5): both variables already in
+  the temporal table, evaluated as a selection on graph codes.
+
+The executor (:mod:`repro.query.executor`) interprets these steps against
+a :class:`~repro.db.database.GraphDatabase`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..storage.buffer import BufferPool
+from ..storage.table import Table
+from .pattern import Condition, GraphPattern, PatternError
+
+
+class RowLimitExceeded(RuntimeError):
+    """Raised when an operator's output outgrows an explicit row limit.
+
+    Used as an execution guard: callers that only need to know whether a
+    query stays within budget (e.g. workload validation) pass
+    ``row_limit`` to the executor and catch this instead of waiting for a
+    runaway multi-million-row intermediate to materialize.
+    """
+
+
+class Side(enum.Enum):
+    """Which side of a condition the temporal table holds.
+
+    ``OUT``: the temporal table has the condition's *source* variable; the
+    Filter scans its out-codes and the Fetch adds the target via
+    ``getT(w, Y)`` — the plain Algorithm 2 direction.
+
+    ``IN``: the temporal table has the *target*; the Filter scans
+    in-codes and the Fetch adds the source via ``getF(w, X)`` — the mirror
+    case the paper sketches after Algorithm 2.
+    """
+
+    OUT = "out"
+    IN = "in"
+
+    def scanned_var(self, condition: Condition) -> str:
+        return condition[0] if self is Side.OUT else condition[1]
+
+    def fetched_var(self, condition: Condition) -> str:
+        return condition[1] if self is Side.OUT else condition[0]
+
+
+FilterKey = Tuple[Condition, Side]
+
+
+@dataclass(frozen=True)
+class SeedScan:
+    """Scan one base table to seed a single-variable temporal table."""
+
+    var: str
+
+
+@dataclass(frozen=True)
+class SeedJoin:
+    """HPSJ (Algorithm 1): R-join two base tables via the join index."""
+
+    condition: Condition
+
+
+@dataclass(frozen=True)
+class FilterStep:
+    """One shared scan applying R-semijoins for all listed filter keys.
+
+    Every key must scan the *same* variable (Remark 3.1's sharing
+    condition: "either all X_i or all Y_i are the same").
+    """
+
+    keys: Tuple[FilterKey, ...]
+
+    def __post_init__(self) -> None:
+        scanned = {side.scanned_var(cond) for cond, side in self.keys}
+        if len(scanned) != 1:
+            raise PatternError(
+                f"a shared FilterStep must scan one variable, got {sorted(scanned)}"
+            )
+        sides = {side for _, side in self.keys}
+        if len(sides) != 1:
+            # Remark 3.1: sharable only when all sources or all targets
+            # coincide — i.e. one column scanned with one code kind
+            raise PatternError(
+                "a shared FilterStep must use one side (all X_i or all Y_i equal)"
+            )
+
+    @property
+    def scanned_var(self) -> str:
+        condition, side = self.keys[0]
+        return side.scanned_var(condition)
+
+
+@dataclass(frozen=True)
+class FetchStep:
+    """Fetch (Algorithm 2): complete a filtered R-join, adding a variable."""
+
+    condition: Condition
+    side: Side
+
+
+@dataclass(frozen=True)
+class SelectionStep:
+    """Self R-join (Eq. 5): check a condition between two bound variables."""
+
+    condition: Condition
+
+
+PlanStep = SeedScan | SeedJoin | FilterStep | FetchStep | SelectionStep
+
+
+@dataclass
+class Plan:
+    """A validated left-deep plan for a pattern."""
+
+    pattern: GraphPattern
+    steps: List[PlanStep] = field(default_factory=list)
+
+    def validate(self) -> None:
+        """Simulate binding to catch malformed step sequences early."""
+        if not self.steps:
+            raise PatternError("plan has no steps")
+        first = self.steps[0]
+        bound: set = set()
+        pending: set = set()
+        done: set = set()
+        if isinstance(first, SeedScan):
+            bound.add(first.var)
+        elif isinstance(first, SeedJoin):
+            bound.update(first.condition)
+            done.add(first.condition)
+        else:
+            raise PatternError(f"plan must start with a seed step, got {first}")
+        for step in self.steps[1:]:
+            if isinstance(step, FilterStep):
+                if step.scanned_var not in bound:
+                    raise PatternError(
+                        f"filter scans unbound variable {step.scanned_var!r}"
+                    )
+                for key in step.keys:
+                    if key in pending or key[0] in done:
+                        raise PatternError(f"duplicate filter for {key}")
+                    pending.add(key)
+            elif isinstance(step, FetchStep):
+                key = (step.condition, step.side)
+                if key not in pending:
+                    raise PatternError(
+                        f"fetch for {key} has no preceding filter (HPSJ+ requires "
+                        "Filter before Fetch)"
+                    )
+                pending.discard(key)
+                bound.add(step.side.fetched_var(step.condition))
+                done.add(step.condition)
+            elif isinstance(step, SelectionStep):
+                src, dst = step.condition
+                if src not in bound or dst not in bound:
+                    raise PatternError(
+                        f"selection on {step.condition} with unbound variable"
+                    )
+                if step.condition in done:
+                    raise PatternError(f"condition {step.condition} evaluated twice")
+                done.add(step.condition)
+            else:
+                raise PatternError(f"seed step {step} must come first")
+        missing = set(self.pattern.conditions) - done
+        if missing:
+            raise PatternError(f"plan never evaluates conditions {sorted(missing)}")
+        unbound = set(self.pattern.variables) - bound
+        if unbound:
+            raise PatternError(f"plan never binds variables {sorted(unbound)}")
+        if pending:
+            raise PatternError(f"plan leaves filters {sorted(pending, key=str)} unfetched")
+
+    def describe(self) -> str:
+        """Human-readable one-line-per-step rendering (for EXPLAIN)."""
+        lines = []
+        for step in self.steps:
+            if isinstance(step, SeedScan):
+                lines.append(f"SCAN      T_{self.pattern.label(step.var)} ({step.var})")
+            elif isinstance(step, SeedJoin):
+                src, dst = step.condition
+                lines.append(f"HPSJ      {src} -> {dst}")
+            elif isinstance(step, FilterStep):
+                conds = ", ".join(
+                    f"{c[0]}->{c[1]}[{s.value}]" for c, s in step.keys
+                )
+                lines.append(f"FILTER    scan {step.scanned_var}: {conds}")
+            elif isinstance(step, FetchStep):
+                src, dst = step.condition
+                lines.append(f"FETCH     {src} -> {dst} [{step.side.value}]")
+            elif isinstance(step, SelectionStep):
+                src, dst = step.condition
+                lines.append(f"SELECT    {src} -> {dst}")
+        return "\n".join(lines)
+
+
+class TemporalTable:
+    """An intermediate result: bound variable columns + pending center sets.
+
+    Rows are tuples: first the node ids of ``variables`` (in order), then
+    one ``tuple(centers)`` per entry of ``pending`` — the ``(r_i, X_i)``
+    pairs that Algorithm 2's Filter emits into ``T_W``.  Rows live in a
+    heap file through the buffer pool, so temporal-table scans and writes
+    are charged I/O like any other table.
+    """
+
+    def __init__(
+        self,
+        pool: BufferPool,
+        variables: Sequence[str],
+        pending: Sequence[FilterKey] = (),
+        name: str = "temp",
+        row_limit: int | None = None,
+    ) -> None:
+        self.variables: Tuple[str, ...] = tuple(variables)
+        self.pending: Tuple[FilterKey, ...] = tuple(pending)
+        self.row_limit = row_limit
+        columns = list(self.variables) + [
+            f"__centers_{i}" for i in range(len(self.pending))
+        ]
+        self.table = Table(pool, name=name, columns=columns)
+
+    # ------------------------------------------------------------------
+    def var_position(self, var: str) -> int:
+        try:
+            return self.variables.index(var)
+        except ValueError:
+            raise PatternError(
+                f"variable {var!r} not bound; bound: {self.variables}"
+            ) from None
+
+    def pending_position(self, key: FilterKey) -> int:
+        try:
+            return len(self.variables) + self.pending.index(key)
+        except ValueError:
+            raise PatternError(f"no pending centers for filter {key}") from None
+
+    def insert(self, row: Sequence) -> None:
+        if self.row_limit is not None and len(self.table) >= self.row_limit:
+            raise RowLimitExceeded(
+                f"temporal table exceeded {self.row_limit} rows"
+            )
+        self.table.insert(row)
+
+    def scan(self):
+        return self.table.scan()
+
+    @property
+    def row_count(self) -> int:
+        return len(self.table)
+
+    @property
+    def page_count(self) -> int:
+        return self.table.page_count
+
+    def __len__(self) -> int:
+        return len(self.table)

@@ -1,0 +1,141 @@
+"""Cost model for R-join / R-semijoin order selection (paper Section 4).
+
+Table 1 of the paper defines four I/O cost parameters:
+
+=========  ==================================================================
+``IO_B``   search cost over a B+-tree (one root-to-leaf descent)
+``IO_D``   disk access cost for one page scan of a file
+``IO_F``   avg cost of using the R-join index to find an X-labeled node of
+           ``π_X(T_X ⋈ T_Y)``  (the paper's ``IO^F_{X->Y}``)
+``IO_T``   avg cost for a Y-labeled node of ``π_Y(T_X ⋈ T_Y)``
+=========  ==================================================================
+
+and three size estimates:
+
+* Eq. (10) — self R-join (selection):
+  ``|T_RS| = |T_R| * |T_X ⋈ T_Y| / (|T_X| * |T_Y|)``
+* Eq. (11) — R-join, temporal holds X:
+  ``|T_RS| = |T_R| * |T_X ⋈ T_Y| / |T_X|``
+* Eq. (12) — temporal holds Y:  divide by ``|T_Y|``
+
+with costs
+
+* selection:  ``2 * (IO_B + IO_X) * |T_R|``  (two code retrievals/row)
+* R-join:     ``(IO_B + IO_D) * |T_R| + IO_rji * |T_RS|``
+  (Filter = per-row getCenters; Fetch = per-output-node index access).
+
+The model is deliberately coarse — the paper notes "our approaches is not
+independent [sic: dependent] on a cost model" — what matters is consistent
+relative ordering, which these formulas give both DP and DPS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..db.catalog import Catalog
+from .pattern import Condition, GraphPattern
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Table 1's I/O parameters, in abstract page-access units."""
+
+    io_btree: float = 3.0       # IO_B: one B+-tree descent (~tree height)
+    io_page: float = 1.0        # IO_D: one page access
+    io_index_node: float = 0.05 # IO_rji: per node pulled from a subcluster
+    rows_per_page: float = 100.0  # temporal-table packing, for scan costs
+    cached_code_discount: float = 0.25
+    """Relative cost of a code retrieval when the variable's codes were
+    already cached by an earlier filter on the same column (B_in/B_out in
+    Section 4.2) — sharing per Remark 3.1 makes repeats much cheaper."""
+
+
+class CostModel:
+    """Size and cost estimation bound to one database's catalog."""
+
+    def __init__(self, catalog: Catalog, pattern: GraphPattern,
+                 params: CostParams | None = None) -> None:
+        self.catalog = catalog
+        self.pattern = pattern
+        self.params = params or CostParams()
+
+    # ------------------------------------------------------------------
+    # sizes
+    # ------------------------------------------------------------------
+    def _labels(self, condition: Condition) -> tuple:
+        return self.pattern.condition_labels(condition)
+
+    def extent_size(self, var: str) -> int:
+        return self.catalog.extent_size(self.pattern.label(var))
+
+    def base_join_size(self, condition: Condition) -> float:
+        """``|T_X ⋈_{X->Y} T_Y|`` between base tables (HPSJ output)."""
+        x_label, y_label = self._labels(condition)
+        return float(self.catalog.join_size(x_label, y_label))
+
+    def selection_selectivity(self, condition: Condition) -> float:
+        """Eq. (10): fraction of rows surviving a self R-join."""
+        x_label, y_label = self._labels(condition)
+        return self.catalog.join_selectivity(x_label, y_label)
+
+    def join_fanout(self, condition: Condition, temporal_holds_source: bool) -> float:
+        """Eq. (11)/(12): output rows per temporal row for a full R-join."""
+        x_label, y_label = self._labels(condition)
+        if temporal_holds_source:
+            return self.catalog.reduction_factor(x_label, y_label)
+        size = self.catalog.extent_size(y_label)
+        if size == 0:
+            return 0.0
+        return self.catalog.join_size(x_label, y_label) / size
+
+    def filter_survival(self, condition: Condition, temporal_holds_source: bool) -> float:
+        """Fraction of temporal rows surviving the condition's R-semijoin."""
+        x_label, y_label = self._labels(condition)
+        if temporal_holds_source:
+            return self.catalog.semijoin_survival(x_label, y_label)
+        size = self.catalog.extent_size(y_label)
+        if size == 0:
+            return 0.0
+        return min(1.0, self.catalog.join_size(x_label, y_label) / size)
+
+    # ------------------------------------------------------------------
+    # costs
+    # ------------------------------------------------------------------
+    def scan_cost(self, rows: float) -> float:
+        """IO_D per page of a temporal-table scan."""
+        pages = max(1.0, rows / self.params.rows_per_page)
+        return self.params.io_page * pages
+
+    def hpsj_cost(self, condition: Condition) -> float:
+        """Algorithm 1: one W-table probe + per-output index node costs."""
+        output = self.base_join_size(condition)
+        return self.params.io_btree + self.params.io_index_node * max(output, 1.0)
+
+    def filter_cost(self, rows: float, conditions: int, code_cached: bool) -> float:
+        """Filter: scan + per-row getCenters; shared scan costs one pass.
+
+        ``conditions`` semijoins on the same scanned column share the code
+        retrieval (Remark 3.1), so only the W-table intersections multiply.
+        """
+        code = self.params.io_btree + self.params.io_page
+        if code_cached:
+            code *= self.params.cached_code_discount
+        probe = 0.25 * self.params.io_btree * conditions  # W-table lookups amortize
+        return self.scan_cost(rows) + rows * (code + probe)
+
+    def fetch_cost(self, rows_in: float, rows_out: float) -> float:
+        """Fetch: scan the filtered table + IO_rji per retrieved node."""
+        return self.scan_cost(rows_in) + self.params.io_index_node * max(rows_out, 1.0) \
+            + self.params.io_btree * max(rows_in, 1.0) * 0.1
+
+    def selection_cost(self, rows: float, src_cached: bool, dst_cached: bool) -> float:
+        """Self R-join: 2 * (IO_B + IO_X) * |T_R|, discounted per cached side."""
+        code = self.params.io_btree + self.params.io_page
+        src_code = code * (self.params.cached_code_discount if src_cached else 1.0)
+        dst_code = code * (self.params.cached_code_discount if dst_cached else 1.0)
+        return self.scan_cost(rows) + rows * (src_code + dst_code)
+
+    def materialize_cost(self, rows: float) -> float:
+        """Writing a temporal table back out, page by page."""
+        return self.scan_cost(rows)

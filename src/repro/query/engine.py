@@ -1,0 +1,184 @@
+"""GraphEngine — the library's top-level public API.
+
+Typical use::
+
+    from repro import GraphEngine, parse_pattern
+
+    engine = GraphEngine(graph)                  # builds codes + indexes
+    result = engine.match("A -> C, B -> C, C -> D, D -> E")
+    for row in result.rows:
+        print(dict(zip(result.columns, row)))
+
+``optimizer`` selects the paper's two approaches (and a greedy control):
+
+* ``"dps"`` (default) — DP interleaving R-joins with R-semijoins (§4.2);
+* ``"dp"`` — R-join-only dynamic programming (§4.1);
+* ``"greedy"`` — locally cheapest move, as a non-paper control.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from ..db.database import GraphDatabase
+from ..graph.digraph import DiGraph
+from ..labeling.twohop import TwoHopLabeling
+from ..storage.buffer import DEFAULT_BUFFER_BYTES
+from .costmodel import CostModel, CostParams
+from .executor import QueryResult, execute_plan
+from .pipeline import execute_plan_streaming
+from .optimizer_dp import OptimizedPlan, optimize_dp, optimize_greedy
+from .optimizer_dps import optimize_dps
+from .parser import parse_pattern
+from .pattern import GraphPattern
+
+_OPTIMIZERS = {
+    "dp": optimize_dp,
+    "dps": optimize_dps,
+    "greedy": optimize_greedy,
+}
+
+PatternLike = Union[str, GraphPattern]
+
+
+class GraphEngine:
+    """Graph pattern matching over one data graph.
+
+    Building the engine computes the 2-hop labeling, loads the base
+    tables, and constructs the cluster-based R-join index and W-table —
+    the offline phase of the paper.  :meth:`match` then answers patterns
+    online via optimized R-join/R-semijoin plans.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        labeling: Optional[TwoHopLabeling] = None,
+        buffer_bytes: int = DEFAULT_BUFFER_BYTES,
+        cost_params: Optional[CostParams] = None,
+        code_cache_enabled: bool = True,
+    ) -> None:
+        self.db = GraphDatabase(
+            graph,
+            labeling=labeling,
+            buffer_bytes=buffer_bytes,
+            code_cache_enabled=code_cache_enabled,
+        )
+        self.cost_params = cost_params or CostParams()
+
+    @classmethod
+    def from_database(
+        cls,
+        db: GraphDatabase,
+        cost_params: Optional[CostParams] = None,
+    ) -> "GraphEngine":
+        """Wrap an existing (e.g. reloaded) database without rebuilding it.
+
+        Pairs with :func:`repro.db.persist.load_database` so a persisted
+        offline phase can serve queries without recomputing anything.
+        """
+        engine = cls.__new__(cls)
+        engine.db = db
+        engine.cost_params = cost_params or CostParams()
+        return engine
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce(pattern: PatternLike) -> GraphPattern:
+        if isinstance(pattern, GraphPattern):
+            return pattern
+        return parse_pattern(pattern)
+
+    #: plans are deterministic per (pattern, optimizer) for a fixed
+    #: catalog, so repeated queries skip the optimizer entirely
+    PLAN_CACHE_SIZE = 256
+
+    def plan(self, pattern: PatternLike, optimizer: str = "dps") -> OptimizedPlan:
+        """Optimize a pattern without executing it (memoized)."""
+        parsed = self._coerce(pattern)
+        self._check_labels(parsed)
+        try:
+            optimize = _OPTIMIZERS[optimizer]
+        except KeyError:
+            raise ValueError(
+                f"unknown optimizer {optimizer!r}; choose from {sorted(_OPTIMIZERS)}"
+            ) from None
+        cache = getattr(self, "_plan_cache", None)
+        if cache is None:
+            cache = self._plan_cache = {}
+        key = (str(parsed), optimizer)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        model = CostModel(self.db.catalog, parsed, self.cost_params)
+        optimized = optimize(parsed, model)
+        if len(cache) >= self.PLAN_CACHE_SIZE:
+            cache.clear()  # simple wholesale reset; plans are cheap to redo
+        cache[key] = optimized
+        return optimized
+
+    def match(
+        self,
+        pattern: PatternLike,
+        optimizer: str = "dps",
+        reset_counters: bool = True,
+        row_limit: Optional[int] = None,
+    ) -> QueryResult:
+        """Optimize and execute a pattern; returns matches + metrics.
+
+        ``reset_counters`` cold-starts the I/O counters and the working
+        cache before running (per-query accounting, as the paper measures
+        query by query).  ``row_limit`` caps every intermediate result and
+        raises :class:`~repro.query.algebra.RowLimitExceeded` beyond it.
+        """
+        optimized = self.plan(pattern, optimizer=optimizer)
+        if reset_counters:
+            self.db.reset_counters()
+        return execute_plan(self.db, optimized.plan, row_limit=row_limit)
+
+    def match_iter(
+        self,
+        pattern: PatternLike,
+        optimizer: str = "dps",
+        limit: Optional[int] = None,
+    ):
+        """Stream matches lazily through the pipelined executor.
+
+        No temporal tables are materialized; with ``limit`` the upstream
+        operators stop as soon as enough rows exist — the cheap way to
+        answer "give me a few examples" or EXISTS-style questions over
+        patterns whose full result would be huge.
+        """
+        optimized = self.plan(pattern, optimizer=optimizer)
+        return execute_plan_streaming(self.db, optimized.plan, limit=limit)
+
+    def explain(self, pattern: PatternLike, optimizer: str = "dps") -> str:
+        """The chosen plan as text, with its cost/cardinality estimates."""
+        optimized = self.plan(pattern, optimizer=optimizer)
+        header = (
+            f"-- optimizer={optimizer} est_cost={optimized.estimated_cost:.1f} "
+            f"est_rows={optimized.estimated_rows:.1f}"
+        )
+        return header + "\n" + optimized.plan.describe()
+
+    # ------------------------------------------------------------------
+    def _check_labels(self, pattern: GraphPattern) -> None:
+        known = set(self.db.base_tables)
+        for var in pattern.variables:
+            label = pattern.label(var)
+            if label not in known:
+                raise KeyError(
+                    f"pattern variable {var!r} uses label {label!r} which has "
+                    f"no base table; known labels: {sorted(known)}"
+                )
+
+    def stats_summary(self) -> Dict[str, float]:
+        """Offline-structure sizes: the Table 2 row for this dataset."""
+        labeling = self.db.labeling
+        return {
+            "nodes": self.db.graph.node_count,
+            "edges": self.db.graph.edge_count,
+            "cover_size": labeling.cover_size(),
+            "cover_ratio": labeling.average_code_size(),
+            "centers": self.db.join_index.center_count,
+        }

@@ -1,0 +1,175 @@
+"""DP — R-join order selection by dynamic programming (paper Section 4.1).
+
+This optimizer considers *R-joins only* (no standalone R-semijoins): a
+status is the set of pattern edges already evaluated, and a move adds one
+more edge — as a full HPSJ+ R-join (Filter immediately followed by Fetch)
+when it binds a new variable, or as a self R-join selection (Eq. 5) when
+both endpoints are already bound.  The search enumerates left-deep trees,
+seeding with an HPSJ between two base tables (the paper's R-join-move is
+"only allowed to move from the initial status S_0").
+
+States are memoized per edge subset; among plans reaching the same subset
+the cheapest is kept (the standard DP assumption the paper also makes).
+The search space is bounded by O(2^m) for m pattern edges.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from .algebra import FetchStep, FilterStep, Plan, PlanStep, SeedJoin, SeedScan, Side
+from .algebra import SelectionStep
+from .costmodel import CostModel
+from .pattern import Condition, GraphPattern
+
+
+@dataclass
+class OptimizedPlan:
+    """A plan with its estimated cost and cardinality."""
+
+    plan: Plan
+    estimated_cost: float
+    estimated_rows: float
+
+
+def _bound_vars(done: FrozenSet[Condition]) -> FrozenSet[str]:
+    bound = set()
+    for src, dst in done:
+        bound.add(src)
+        bound.add(dst)
+    return frozenset(bound)
+
+
+def optimize_dp(pattern: GraphPattern, model: CostModel) -> OptimizedPlan:
+    """Find the minimum-estimated-cost R-join-only left-deep plan."""
+    if pattern.node_count == 1:
+        var = pattern.variables[0]
+        plan = Plan(pattern, [SeedScan(var)])
+        plan.validate()
+        rows = float(model.extent_size(var))
+        return OptimizedPlan(plan, model.scan_cost(rows), rows)
+
+    all_conditions = frozenset(pattern.conditions)
+    # best[state] = (cost, rows, steps)
+    best: Dict[FrozenSet[Condition], Tuple[float, float, List[PlanStep]]] = {}
+    for condition in pattern.conditions:
+        rows = model.base_join_size(condition)
+        cost = model.hpsj_cost(condition) + model.materialize_cost(rows)
+        state = frozenset([condition])
+        candidate = (cost, rows, [SeedJoin(condition)])
+        if state not in best or candidate[0] < best[state][0]:
+            best[state] = candidate
+
+    # expand states in order of subset size (left-deep: one edge per move)
+    frontier = sorted(best, key=len)
+    index = 0
+    while index < len(frontier):
+        state = frontier[index]
+        index += 1
+        cost, rows, steps = best[state]
+        if best[state][0] < cost:  # superseded entry
+            continue
+        bound = _bound_vars(state)
+        for condition in all_conditions - state:
+            src, dst = condition
+            src_bound, dst_bound = src in bound, dst in bound
+            if not (src_bound or dst_bound):
+                continue  # left-deep plans stay connected
+            if src_bound and dst_bound:
+                new_rows = rows * model.selection_selectivity(condition)
+                step_cost = (
+                    model.selection_cost(rows, False, False)
+                    + model.materialize_cost(new_rows)
+                )
+                new_steps = steps + [SelectionStep(condition)]
+            else:
+                side = Side.OUT if src_bound else Side.IN
+                survival = model.filter_survival(condition, side is Side.OUT)
+                surviving = rows * survival
+                new_rows = rows * model.join_fanout(condition, side is Side.OUT)
+                step_cost = (
+                    model.filter_cost(rows, 1, code_cached=False)
+                    + model.materialize_cost(surviving)  # the T_W intermediate
+                    + model.fetch_cost(surviving, new_rows)
+                    + model.materialize_cost(new_rows)
+                )
+                new_steps = steps + [
+                    FilterStep(((condition, side),)),
+                    FetchStep(condition, side),
+                ]
+            new_state = state | {condition}
+            candidate = (cost + step_cost, new_rows, new_steps)
+            if new_state not in best or candidate[0] < best[new_state][0]:
+                previously_known = new_state in best
+                best[new_state] = candidate
+                if not previously_known:
+                    frontier.append(new_state)
+
+    final = best.get(all_conditions)
+    if final is None:  # pragma: no cover - connected patterns always complete
+        raise RuntimeError("DP failed to cover all conditions")
+    total_cost, total_rows, steps = final
+    plan = Plan(pattern, steps)
+    plan.validate()
+    return OptimizedPlan(plan, total_cost, total_rows)
+
+
+def optimize_greedy(pattern: GraphPattern, model: CostModel) -> OptimizedPlan:
+    """Greedy baseline: always take the locally cheapest next move.
+
+    Not in the paper; used by tests and ablations as a sanity competitor
+    for the two DP variants.
+    """
+    if pattern.node_count == 1:
+        return optimize_dp(pattern, model)
+    seed = min(pattern.conditions, key=model.base_join_size)
+    rows = model.base_join_size(seed)
+    cost = model.hpsj_cost(seed) + model.materialize_cost(rows)
+    steps: List[PlanStep] = [SeedJoin(seed)]
+    done = {seed}
+    bound = {seed[0], seed[1]}
+    while len(done) < pattern.edge_count:
+        candidates = []
+        for condition in pattern.conditions:
+            if condition in done:
+                continue
+            src, dst = condition
+            if src in bound and dst in bound:
+                new_rows = rows * model.selection_selectivity(condition)
+                move_cost = (
+                    model.selection_cost(rows, False, False)
+                    + model.materialize_cost(new_rows)
+                )
+                heapq.heappush(
+                    candidates,
+                    (move_cost, str(condition), condition, None, new_rows),
+                )
+            elif src in bound or dst in bound:
+                side = Side.OUT if src in bound else Side.IN
+                survival = model.filter_survival(condition, side is Side.OUT)
+                new_rows = rows * model.join_fanout(condition, side is Side.OUT)
+                move_cost = (
+                    model.filter_cost(rows, 1, code_cached=False)
+                    + model.materialize_cost(rows * survival)
+                    + model.fetch_cost(rows * survival, new_rows)
+                    + model.materialize_cost(new_rows)
+                )
+                heapq.heappush(
+                    candidates,
+                    (move_cost, str(condition), condition, side, new_rows),
+                )
+        move_cost, _, condition, side, new_rows = heapq.heappop(candidates)
+        if side is None:
+            steps.append(SelectionStep(condition))
+        else:
+            steps.append(FilterStep(((condition, side),)))
+            steps.append(FetchStep(condition, side))
+            bound.add(side.fetched_var(condition))
+        done.add(condition)
+        cost += move_cost
+        rows = new_rows
+    plan = Plan(pattern, steps)
+    plan.validate()
+    return OptimizedPlan(plan, cost, rows)

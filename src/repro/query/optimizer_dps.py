@@ -1,0 +1,240 @@
+"""DPS — interleaving R-joins with R-semijoins (paper Section 4.2).
+
+The key idea: an R-join ``⋈`` is ``⋉`` (Filter) followed by ``⋊`` (Fetch),
+so the optimizer can schedule the two halves *independently* — running
+several cheap Filters early shrinks the temporal table before any
+expensive Fetch materializes new columns.  The paper formalizes this as a
+dynamic program over statuses ``(E, L, B_in, B_out)``:
+
+* ``E`` — conditions fully evaluated (both halves done, or selection);
+* ``L`` — variables appearing in the temporal table or filtered on;
+* ``B_in`` / ``B_out`` — variables whose in/out graph codes are cached by
+  a previous Filter, making later code accesses on the same column cheap
+  (the sharing of Remark 3.1);
+
+with three moves: **Filter-move** (adds one or more R-semijoins sharing a
+scanned column — "not only ⋉ on X->Y but also all other ⋉ on X, to
+maximize the cost sharing"), **Fetch-move** (completes a filtered
+condition, allowed once its scanned side is cached), and **R-join-move**
+(HPSJ between the first two base tables, only from the initial status).
+Figure 3 of the paper also seeds plans with a Filter-move directly from
+S_0 — a base table reduced by a semijoin before anything is fetched —
+which :func:`optimize_dps` supports via a SeedScan + FilterStep pair.
+
+The implementation is a uniform-cost (Dijkstra) search over statuses,
+which is equivalent to the paper's DP: statuses form a DAG (every move
+adds work) and the first settlement of a status is its minimum cost.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from .algebra import (
+    FetchStep,
+    FilterKey,
+    FilterStep,
+    Plan,
+    PlanStep,
+    SeedJoin,
+    SeedScan,
+    SelectionStep,
+    Side,
+)
+from .costmodel import CostModel
+from .optimizer_dp import OptimizedPlan, optimize_dp
+from .pattern import Condition, GraphPattern
+
+Status = Tuple[
+    FrozenSet[Condition],   # E: fully-evaluated conditions
+    FrozenSet[FilterKey],   # pending: filtered, not yet fetched
+    FrozenSet[str],         # B_in
+    FrozenSet[str],         # B_out
+    FrozenSet[str],         # L: bound variables (columns of the temporal table)
+]
+
+
+@dataclass(order=True)
+class _SearchNode:
+    cost: float
+    tie: int
+    status: Status = field(compare=False)
+    rows: float = field(compare=False)
+    steps: List[PlanStep] = field(compare=False)
+
+
+def _applicable_filters(
+    pattern: GraphPattern,
+    var: str,
+    side: Side,
+    done: FrozenSet[Condition],
+    pending: FrozenSet[FilterKey],
+    bound: FrozenSet[str],
+) -> Tuple[FilterKey, ...]:
+    """All semijoins that a Filter-move on (var, side) batches together.
+
+    A condition qualifies if this side scans *var*, it is not evaluated,
+    not already filtered on either side, and its other endpoint is not yet
+    bound (conditions between two bound variables go through
+    Selection-moves instead).
+    """
+    keys = []
+    filtered_conditions = {key[0] for key in pending}
+    for condition in pattern.conditions:
+        if condition in done or condition in filtered_conditions:
+            continue
+        if side.scanned_var(condition) != var:
+            continue
+        if side.fetched_var(condition) in bound:
+            continue
+        keys.append((condition, side))
+    return tuple(keys)
+
+
+def optimize_dps(pattern: GraphPattern, model: CostModel) -> OptimizedPlan:
+    """Minimum-estimated-cost plan interleaving R-joins and R-semijoins."""
+    if pattern.node_count == 1:
+        return optimize_dp(pattern, model)
+
+    all_conditions = frozenset(pattern.conditions)
+    counter = itertools.count()
+    heap: List[_SearchNode] = []
+    settled: Set[Status] = set()
+
+    def push(cost: float, status: Status, rows: float, steps: List[PlanStep]) -> None:
+        heapq.heappush(heap, _SearchNode(cost, next(counter), status, rows, steps))
+
+    # ------------------------------------------------------------------
+    # initial moves from S_0
+    # ------------------------------------------------------------------
+    # R-join-move: HPSJ between two base tables
+    for condition in pattern.conditions:
+        rows = model.base_join_size(condition)
+        cost = model.hpsj_cost(condition) + model.materialize_cost(rows)
+        status: Status = (
+            frozenset([condition]),
+            frozenset(),
+            frozenset(),
+            frozenset(),
+            frozenset(condition),
+        )
+        push(cost, status, rows, [SeedJoin(condition)])
+
+    # Filter-move from S_0: base table reduced by semijoin(s) (Figure 3's S_1)
+    for var in pattern.variables:
+        for side in (Side.OUT, Side.IN):
+            keys = _applicable_filters(
+                pattern, var, side, frozenset(), frozenset(), frozenset()
+            )
+            if not keys:
+                continue
+            rows = float(model.extent_size(var))
+            survivors = rows
+            for condition, key_side in keys:
+                survivors *= model.filter_survival(
+                    condition, key_side is Side.OUT
+                )
+            cost = model.filter_cost(rows, len(keys), code_cached=False)
+            cost += model.materialize_cost(survivors)
+            b_in = frozenset([var]) if side is Side.IN else frozenset()
+            b_out = frozenset([var]) if side is Side.OUT else frozenset()
+            status = (
+                frozenset(),
+                frozenset(keys),
+                b_in,
+                b_out,
+                frozenset([var]),
+            )
+            push(cost, status, survivors, [SeedScan(var), FilterStep(keys)])
+
+    # ------------------------------------------------------------------
+    # uniform-cost search over statuses
+    # ------------------------------------------------------------------
+    while heap:
+        node = heapq.heappop(heap)
+        done, pending, b_in, b_out, bound = node.status
+        if node.status in settled:
+            continue
+        settled.add(node.status)
+        if done == all_conditions and not pending:
+            plan = Plan(pattern, node.steps)
+            plan.validate()
+            return OptimizedPlan(plan, node.cost, node.rows)
+
+        rows = node.rows
+
+        # Filter-moves: batch all applicable semijoins per (var, side)
+        for var in bound:
+            for side in (Side.OUT, Side.IN):
+                keys = _applicable_filters(pattern, var, side, done, pending, bound)
+                if not keys:
+                    continue
+                cached = var in (b_out if side is Side.OUT else b_in)
+                survivors = rows
+                for condition, key_side in keys:
+                    survivors *= model.filter_survival(
+                        condition, key_side is Side.OUT
+                    )
+                cost = model.filter_cost(rows, len(keys), code_cached=cached)
+                cost += model.materialize_cost(survivors)
+                new_b_in = b_in | ({var} if side is Side.IN else frozenset())
+                new_b_out = b_out | ({var} if side is Side.OUT else frozenset())
+                status = (done, pending | frozenset(keys), new_b_in, new_b_out, bound)
+                if status not in settled:
+                    push(
+                        node.cost + cost,
+                        status,
+                        survivors,
+                        node.steps + [FilterStep(keys)],
+                    )
+
+        # Fetch-moves: complete a filtered condition
+        for key in pending:
+            condition, side = key
+            new_var = side.fetched_var(condition)
+            if new_var in bound:
+                continue  # stranded filter; this branch cannot complete
+            survival = model.filter_survival(condition, side is Side.OUT)
+            fanout = model.join_fanout(condition, side is Side.OUT)
+            expansion = fanout / survival if survival > 0 else 0.0
+            new_rows = rows * expansion
+            cost = model.fetch_cost(rows, new_rows) + model.materialize_cost(new_rows)
+            status = (
+                done | {condition},
+                pending - {key},
+                b_in,
+                b_out,
+                bound | {new_var},
+            )
+            if status not in settled:
+                push(
+                    node.cost + cost,
+                    status,
+                    new_rows,
+                    node.steps + [FetchStep(condition, side)],
+                )
+
+        # Selection-moves: conditions with both endpoints bound
+        filtered_conditions = {key[0] for key in pending}
+        for condition in all_conditions - done:
+            src, dst = condition
+            if src not in bound or dst not in bound:
+                continue
+            if condition in filtered_conditions:
+                continue  # its Fetch will evaluate it
+            cost = model.selection_cost(rows, src in b_out, dst in b_in)
+            new_rows = rows * model.selection_selectivity(condition)
+            cost += model.materialize_cost(new_rows)
+            status = (done | {condition}, pending, b_in, b_out, bound)
+            if status not in settled:
+                push(
+                    node.cost + cost,
+                    status,
+                    new_rows,
+                    node.steps + [SelectionStep(condition)],
+                )
+
+    raise RuntimeError("DPS search exhausted without completing the pattern")

@@ -1,0 +1,56 @@
+"""A tiny textual language for graph patterns.
+
+Grammar (informal)::
+
+    pattern   := clause (("," | ";" | newline) clause)*
+    clause    := node "->" node ("->" node)*      # chains are allowed
+               | node                              # single-node pattern
+    node      := NAME (":" LABEL)?                 # bare NAME means LABEL=NAME
+
+Examples
+--------
+``"A -> C, B -> C, C -> D, D -> E"`` is the paper's Figure 1(b) pattern.
+
+``"s:supplier -> r:retailer, s -> w:wholeseller, r -> b:bank"`` names its
+variables, allowing repeated labels.  A variable's label must be given at
+its first mention and may be omitted afterwards.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from .pattern import GraphPattern, PatternError
+
+_NODE_RE = re.compile(r"^\s*([A-Za-z_][\w.-]*)\s*(?::\s*([A-Za-z_][\w.-]*)\s*)?$")
+
+
+def parse_pattern(text: str) -> GraphPattern:
+    """Parse *text* into a validated :class:`GraphPattern`."""
+    labels: Dict[str, str] = {}
+    edges: List[Tuple[str, str]] = []
+
+    def parse_node(token: str) -> str:
+        match = _NODE_RE.match(token)
+        if not match:
+            raise PatternError(f"cannot parse pattern node {token.strip()!r}")
+        name, label = match.group(1), match.group(2)
+        if label is not None:
+            if name in labels and labels[name] != label:
+                raise PatternError(
+                    f"variable {name!r} relabeled from {labels[name]!r} to {label!r}"
+                )
+            labels[name] = label
+        elif name not in labels:
+            labels[name] = name  # bare node: the variable *is* the label
+        return name
+
+    clauses = [c for c in re.split(r"[,;\n]", text) if c.strip()]
+    if not clauses:
+        raise PatternError("empty pattern text")
+    for clause in clauses:
+        chain = [parse_node(tok) for tok in clause.split("->")]
+        for src, dst in zip(chain, chain[1:]):
+            edges.append((src, dst))
+    return GraphPattern.build(labels, edges)

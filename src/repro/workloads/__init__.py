@@ -1,0 +1,25 @@
+"""Benchmark workloads: Figure 4 pattern shapes and the experiment runner."""
+
+from .patterns import PatternFactory
+from .runner import (
+    ExperimentRecord,
+    band_validator,
+    row_limit_validator,
+    check_agreement,
+    format_records,
+    run_igmj,
+    run_rjoin,
+    run_tsd,
+)
+
+__all__ = [
+    "PatternFactory",
+    "ExperimentRecord",
+    "band_validator",
+    "row_limit_validator",
+    "check_agreement",
+    "format_records",
+    "run_igmj",
+    "run_rjoin",
+    "run_tsd",
+]

@@ -1,0 +1,267 @@
+"""Workload generator: the Figure 4 pattern shapes over a dataset.
+
+The paper's evaluation queries (Figure 4) come in three families:
+
+* nine *path* patterns — P1-P3 with 3 nodes, P4-P6 with 4, P7-P9 with 5;
+* nine *tree* patterns — T1-T3 (3-node), T4-T6 (4-node), T7-T9 (5-node);
+* general *graph* patterns Q1-Q5 at |V_q| = 4 and 5 (shapes with shared
+  descendants/ancestors — diamonds, fans and their 5-node extensions),
+  used in Figures 6 and 7.
+
+The exact label assignments in the paper are not published, only the
+shapes; Section 6.2 says the authors "enumerat[ed] all possible patterns
+with different labels".  :class:`PatternFactory` reconstructs that: given
+a dataset's catalog it assigns labels to a shape by walking the *label
+graph* (label pairs whose estimated base R-join is non-empty), using
+rejection sampling so generated patterns are satisfiable-by-estimate and
+therefore exercise real join work rather than empty scans.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..db.catalog import Catalog
+from ..query.pattern import GraphPattern
+
+Shape = Tuple[Tuple[int, int], ...]  # edges over variable indexes 0..k-1
+
+# --- the Figure 4 shape catalog (edges over k variable slots) -----------
+PATH_3: Shape = ((0, 1), (1, 2))
+PATH_4: Shape = ((0, 1), (1, 2), (2, 3))
+PATH_5: Shape = ((0, 1), (1, 2), (2, 3), (3, 4))
+
+TREE_3: Shape = ((0, 1), (0, 2))                       # Fig. 4(d): root + 2
+TREE_4_STAR: Shape = ((0, 1), (0, 2), (0, 3))          # Fig. 4(j): root + 3
+TREE_4_DEEP: Shape = ((0, 1), (0, 2), (1, 3))          # Fig. 4(k): mixed depth
+TREE_5: Shape = ((0, 1), (0, 2), (1, 3), (1, 4))       # Fig. 4(l): 5 nodes
+
+DIAMOND_4: Shape = ((0, 1), (0, 2), (1, 3), (2, 3))    # shared descendant
+FAN_IN_4: Shape = ((0, 2), (1, 2), (2, 3))             # Fig. 1(b)-like core
+CROSS_4: Shape = ((0, 1), (0, 2), (1, 3), (2, 3), (0, 3))
+DIAMOND_5: Shape = ((0, 1), (0, 2), (1, 3), (2, 3), (3, 4))
+FAN_IN_5: Shape = ((0, 2), (1, 2), (2, 3), (2, 4))
+DOUBLE_5: Shape = ((0, 1), (0, 2), (1, 3), (2, 3), (1, 4), (2, 4))
+
+GRAPH_SHAPES_4: Tuple[Shape, ...] = (DIAMOND_4, FAN_IN_4, CROSS_4, DIAMOND_4, FAN_IN_4)
+GRAPH_SHAPES_5: Tuple[Shape, ...] = (DIAMOND_5, FAN_IN_5, DOUBLE_5, DIAMOND_5, FAN_IN_5)
+
+
+class PatternFactory:
+    """Assigns satisfiable-by-estimate labels to Figure 4 shapes."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        seed: int = 11,
+        attempts: int = 400,
+        max_edge_estimate: int = 150_000,
+        max_result_estimate: int = 50_000,
+        validator: Optional[Callable[[GraphPattern], bool]] = None,
+        validated_attempts: int = 12,
+        min_selective_edges: int = 1,
+    ) -> None:
+        self.catalog = catalog
+        self.rng = random.Random(seed)
+        self.attempts = attempts
+        self.max_edge_estimate = max_edge_estimate
+        self.max_result_estimate = max_result_estimate
+        self.validator = validator
+        self.validated_attempts = validated_attempts
+        self.min_selective_edges = min_selective_edges
+        self.labels = sorted(
+            label for label, size in catalog.extent_sizes.items() if size > 0
+        )
+        # successors[x] = labels y with a non-empty estimated R-join x -> y
+        self.successors: Dict[str, List[str]] = {label: [] for label in self.labels}
+        self.predecessors: Dict[str, List[str]] = {label: [] for label in self.labels}
+        for (x_label, y_label), stats in catalog.all_pairs().items():
+            if stats.pair_estimate > 0:
+                self.successors[x_label].append(y_label)
+                self.predecessors[y_label].append(x_label)
+
+    # ------------------------------------------------------------------
+    def _estimate_result(self, assignment: Sequence[str], shape: Shape) -> float:
+        """Rough pattern-result cardinality, Eq. 10/11-style.
+
+        Chains the shape's edges in declaration order: the first edge
+        contributes its base join size; an edge binding a new slot
+        multiplies by its per-tuple fan-out (Eq. 11/12); an edge between
+        two bound slots multiplies by its selectivity (Eq. 10).
+        """
+        rows = 0.0
+        bound: set = set()
+        for a, b in shape:
+            x_label, y_label = assignment[a], assignment[b]
+            join = self.catalog.join_size(x_label, y_label)
+            if not bound:
+                rows = float(join)
+                bound.update((a, b))
+            elif a in bound and b in bound:
+                rows *= self.catalog.join_selectivity(x_label, y_label)
+            elif a in bound:
+                rows *= self.catalog.reduction_factor(x_label, y_label)
+                bound.add(b)
+            else:
+                size = self.catalog.extent_size(y_label)
+                rows *= join / size if size else 0.0
+                bound.add(a)
+        return rows
+
+    def _selective_edges(self, assignment: Sequence[str], shape: Shape) -> int:
+        """Edges whose semijoin would prune a real fraction of tuples.
+
+        The paper's workloads clearly contain selective reachability
+        conditions (their queries run for tens of seconds and R-semijoins
+        pay off); purely hierarchy-following conditions on XMark have
+        survival ≈ 1 and make every optimizer look identical.  An edge
+        counts as selective when either side's semijoin survival is below
+        0.6.
+        """
+        count = 0
+        for a, b in shape:
+            x_label, y_label = assignment[a], assignment[b]
+            forward = self.catalog.semijoin_survival(x_label, y_label)
+            size = self.catalog.extent_size(y_label)
+            backward = (
+                min(1.0, self.catalog.join_size(x_label, y_label) / size)
+                if size
+                else 0.0
+            )
+            if forward <= 0.6 or backward <= 0.6:
+                count += 1
+        return count
+
+    def _score(
+        self, assignment: Sequence[str], shape: Shape
+    ) -> Tuple[int, int, int, int]:
+        """(satisfiable, within-caps, selective-edges, min estimate).
+
+        Lexicographic quality: satisfiable means every edge has a
+        non-zero estimated base join; within-caps rejects degenerate
+        assignments whose largest edge or whose estimated full result
+        would blow up the intermediates (e.g. a 6-row ``regions`` extent
+        fanning out to the whole document); selective-edges (capped at 2)
+        prefers workloads where R-semijoins have something to prune.
+        """
+        estimates = [
+            self.catalog.join_size(assignment[a], assignment[b]) for a, b in shape
+        ]
+        low, high = min(estimates), max(estimates)
+        within = (
+            high <= self.max_edge_estimate
+            and self._estimate_result(assignment, shape) <= self.max_result_estimate
+        )
+        selective = min(2, self._selective_edges(assignment, shape))
+        return (int(low > 0), int(within), selective, low)
+
+    def instantiate(self, shape: Shape, name_prefix: str = "v") -> GraphPattern:
+        """Label a shape; keeps the best-scoring assignment found.
+
+        Variables get distinct names ``v0..v(k-1)`` so one label may
+        appear several times in a pattern (as in real workloads where
+        e.g. two ``person`` variables are related through an auction).
+
+        Statistics-based caps alone cannot catch every skew-driven blowup
+        (the Eq. 10-12 estimates assume independence), so when a
+        ``validator`` is configured, estimate-passing candidates are also
+        *executed* under a row-limit guard; up to ``validated_attempts``
+        candidates are tried before falling back to the best
+        estimate-passing assignment.
+        """
+        k = 1 + max(max(a, b) for a, b in shape)
+
+        def build(assignment: Sequence[str]) -> GraphPattern:
+            nodes = {f"{name_prefix}{i}": label for i, label in enumerate(assignment)}
+            edges = [(f"{name_prefix}{a}", f"{name_prefix}{b}") for a, b in shape]
+            return GraphPattern.build(nodes, edges)
+
+        best: Optional[List[str]] = None
+        best_score = (-1, -1, -1, -1)
+        accept = (1, 1, min(2, self.min_selective_edges), 1)
+        validations_left = self.validated_attempts
+        for _ in range(self.attempts):
+            assignment = self._sample_assignment(shape, k)
+            if assignment is None:
+                continue
+            score = self._score(assignment, shape)
+            if score >= accept and self.validator is not None and validations_left:
+                validations_left -= 1
+                if self.validator(build(assignment)):
+                    return build(assignment)
+                continue  # estimate lied; keep sampling
+            if score > best_score:
+                best, best_score = assignment, score
+                if score >= accept and self.validator is None:
+                    break
+        if best is None:
+            raise ValueError(
+                "could not label the shape; the dataset's label graph is too sparse"
+            )
+        return build(best)
+
+    def _sample_assignment(self, shape: Shape, k: int) -> Optional[List[str]]:
+        """Greedy constrained sampling along the shape's edges."""
+        assignment: List[Optional[str]] = [None] * k
+        order = list(shape)
+        self.rng.shuffle(order)
+        for a, b in order:
+            if assignment[a] is None and assignment[b] is None:
+                label = self.rng.choice(self.labels)
+                succs = self.successors.get(label, [])
+                if not succs:
+                    return None
+                assignment[a] = label
+                assignment[b] = self.rng.choice(succs)
+            elif assignment[a] is None:
+                preds = self.predecessors.get(assignment[b], [])
+                if not preds:
+                    return None
+                assignment[a] = self.rng.choice(preds)
+            elif assignment[b] is None:
+                succs = self.successors.get(assignment[a], [])
+                if not succs:
+                    return None
+                assignment[b] = self.rng.choice(succs)
+        for i in range(k):
+            if assignment[i] is None:  # isolated slot cannot occur in our shapes
+                assignment[i] = self.rng.choice(self.labels)
+        return assignment  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # the named Figure 4 workloads
+    # ------------------------------------------------------------------
+    def figure4_paths(self) -> Dict[str, GraphPattern]:
+        """P1-P9: three patterns per path length 3, 4 and 5."""
+        shapes = [PATH_3] * 3 + [PATH_4] * 3 + [PATH_5] * 3
+        return {
+            f"P{i + 1}": self.instantiate(shape) for i, shape in enumerate(shapes)
+        }
+
+    def figure4_trees(self) -> Dict[str, GraphPattern]:
+        """T1-T9: three 3-node, three 4-node and three 5-node trees."""
+        shapes = [TREE_3] * 3 + [TREE_4_STAR, TREE_4_DEEP, TREE_4_DEEP] + [TREE_5] * 3
+        return {
+            f"T{i + 1}": self.instantiate(shape) for i, shape in enumerate(shapes)
+        }
+
+    def figure4_queries(self, size: int) -> Dict[str, GraphPattern]:
+        """Q1-Q5 graph patterns with |V_q| = 4 or 5 (Figures 6 and 7)."""
+        if size == 4:
+            shapes = GRAPH_SHAPES_4
+        elif size == 5:
+            shapes = GRAPH_SHAPES_5
+        else:
+            raise ValueError("the paper's Q workloads use |V_q| in {4, 5}")
+        return {
+            f"Q{i + 1}": self.instantiate(shape) for i, shape in enumerate(shapes)
+        }
+
+    def scalability_patterns(self) -> Dict[str, GraphPattern]:
+        """The three Figure 7 shapes: a path (4a), a tree (4d), a graph (4i)."""
+        return {
+            "fig4a-path": self.instantiate(PATH_3),
+            "fig4d-tree": self.instantiate(TREE_3),
+            "fig4i-graph": self.instantiate(FAN_IN_5),
+        }

@@ -1,0 +1,53 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.digraph import DiGraph
+
+
+@pytest.fixture
+def figure1():
+    """The paper's running-example data graph (Figure 1(a))."""
+    return generators.figure1_graph()
+
+
+@pytest.fixture
+def small_dag():
+    """A tiny hand-built DAG with known reachability.
+
+    Layout::
+
+        a0 -> b0 -> c0
+        a0 -> c1
+        b1 -> c0
+        c1 -> d0
+    """
+    g = DiGraph()
+    a0 = g.add_node("A")
+    b0 = g.add_node("B")
+    b1 = g.add_node("B")
+    c0 = g.add_node("C")
+    c1 = g.add_node("C")
+    d0 = g.add_node("D")
+    g.add_edges([(a0, b0), (b0, c0), (a0, c1), (b1, c0), (c1, d0)])
+    return g
+
+
+@pytest.fixture
+def cyclic_graph():
+    """A digraph with a 3-cycle plus a tail: 0->1->2->0, 2->3."""
+    g = DiGraph()
+    for label in ("A", "B", "C", "D"):
+        g.add_node(label)
+    g.add_edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+    return g
+
+
+def brute_force_reach(graph: DiGraph):
+    """Dict of all reachable pairs via repeated BFS (ground truth)."""
+    from repro.graph.traversal import reachable_set
+
+    return {u: reachable_set(graph, u) for u in graph.nodes()}

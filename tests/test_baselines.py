@@ -1,0 +1,184 @@
+"""Tests for the baselines: naive matcher, TwigStackD, IGMJ/INT-DP."""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.baselines.igmj import IGMJEngine
+from repro.baselines.naive import NaiveMatcher
+from repro.baselines.twigstackd import TwigStackD
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    figure1_graph,
+    layered_dag,
+    random_dag,
+    random_digraph,
+)
+from repro.query.parser import parse_pattern
+from repro.query.pattern import GraphPattern, PatternError
+
+
+class TestNaiveMatcher:
+    def test_single_node_pattern(self):
+        g = figure1_graph()
+        pattern = GraphPattern.build({"B": "B"}, [])
+        assert NaiveMatcher(g).match_set(pattern) == {
+            (v,) for v in g.extent("B")
+        }
+
+    def test_known_match_on_figure1(self):
+        g = figure1_graph()
+        pattern = parse_pattern("A -> C, B -> C, C -> D, D -> E")
+        matches = NaiveMatcher(g).match_set(pattern)
+        assert matches  # the paper guarantees at least (a0, b0, c1, d2, e1)
+        for a, c, b, d, e in matches:
+            assert g.label(a) == "A" and g.label(e) == "E"
+
+    def test_empty_when_label_missing(self):
+        g = DiGraph()
+        g.add_node("A")
+        pattern = GraphPattern.build({"A": "A", "Z": "Z"}, [("A", "Z")])
+        assert NaiveMatcher(g).match_set(pattern) == set()
+
+    def test_variable_ordering_independent(self):
+        g = random_digraph(15, 0.15, seed=2)
+        p1 = GraphPattern.build(
+            {"A": "A", "B": "B", "C": "C"}, [("A", "B"), ("B", "C")]
+        )
+        p2 = GraphPattern.build(
+            {"C": "C", "B": "B", "A": "A"}, [("A", "B"), ("B", "C")]
+        )
+        m1 = NaiveMatcher(g).match_set(p1)
+        m2 = {(a, b, c) for c, b, a in NaiveMatcher(g).match_set(p2)}
+        assert m1 == m2
+
+
+class TestTwigStackD:
+    def test_rejects_cyclic_data(self, cyclic_graph):
+        with pytest.raises(ValueError):
+            TwigStackD(cyclic_graph)
+
+    def test_rejects_non_tree_pattern(self):
+        g = random_dag(10, 0.2, seed=1)
+        tsd = TwigStackD(g)
+        diamond = GraphPattern.build(
+            {"A": "A", "B": "B", "C": "C", "D": "D"},
+            [("A", "B"), ("A", "C"), ("B", "D"), ("C", "D")],
+        )
+        with pytest.raises(PatternError):
+            tsd.match(diamond)
+
+    def test_path_pattern_matches_naive(self):
+        for seed in range(4):
+            g = random_dag(25, 0.12, seed=seed)
+            pattern = parse_pattern("A -> B -> C")
+            expected = NaiveMatcher(g).match_set(pattern)
+            got, metrics = TwigStackD(g).match(pattern)
+            assert set(got) == expected
+            assert metrics.result_rows == len(got)
+
+    def test_tree_pattern_matches_naive(self):
+        for seed in range(4):
+            g = random_dag(22, 0.15, seed=seed)
+            pattern = GraphPattern.build(
+                {"A": "A", "B": "B", "C": "C", "D": "D"},
+                [("A", "B"), ("A", "C"), ("B", "D")],
+            )
+            expected = NaiveMatcher(g).match_set(pattern)
+            got, _ = TwigStackD(g).match(pattern)
+            assert set(got) == expected
+
+    def test_single_node_pattern(self):
+        g = random_dag(10, 0.2, seed=3)
+        pattern = GraphPattern.build({"A": "A"}, [])
+        got, _ = TwigStackD(g).match(pattern)
+        assert {r[0] for r in got} == set(g.extent("A"))
+
+    def test_buffer_metrics_grow_with_density(self):
+        patterns = parse_pattern("A -> B -> C")
+        sparse = layered_dag(3, 6, edge_prob=0.2, alphabet="ABC", seed=2)
+        dense = layered_dag(3, 6, edge_prob=0.9, alphabet="ABC", seed=2)
+        _, m_sparse = TwigStackD(sparse).match(patterns)
+        _, m_dense = TwigStackD(dense).match(patterns)
+        assert m_dense.link_count >= m_sparse.link_count
+
+
+class TestIGMJ:
+    def test_pair_count_matches_naive_join(self):
+        g = figure1_graph()
+        engine = IGMJEngine(g)
+        pattern = parse_pattern("B -> E")
+        expected = NaiveMatcher(g).match_set(pattern)
+        assert engine.pair_count("B", "E") == len(expected)
+
+    def test_pair_count_cached(self):
+        g = random_dag(15, 0.2, seed=1)
+        engine = IGMJEngine(g)
+        first = engine.pair_count("A", "B")
+        assert engine.pair_count("A", "B") == first
+        assert ("A", "B") in engine._pair_count_cache
+
+    def test_matches_naive_on_digraphs_with_cycles(self, cyclic_graph):
+        engine = IGMJEngine(cyclic_graph)
+        pattern = parse_pattern("A -> C, C -> D")
+        expected = NaiveMatcher(cyclic_graph).match_set(pattern)
+        got, _ = engine.match(pattern)
+        assert set(got) == expected
+
+    def test_matches_naive_on_figure1_paper_pattern(self):
+        g = figure1_graph()
+        engine = IGMJEngine(g)
+        pattern = parse_pattern("A -> C, B -> C, C -> D, D -> E")
+        expected = NaiveMatcher(g).match_set(pattern)
+        got, metrics = engine.match(pattern)
+        assert set(got) == expected
+        assert metrics.joins >= 3
+        assert metrics.sorts >= 1  # temporal tables must be re-sorted
+
+    def test_single_node_pattern(self):
+        g = random_dag(10, 0.3, seed=5)
+        pattern = GraphPattern.build({"B": "B"}, [])
+        got, _ = IGMJEngine(g).match(pattern)
+        assert {r[0] for r in got} == set(g.extent("B"))
+
+    def test_selection_mode_used_for_closing_edges(self):
+        g = figure1_graph()
+        engine = IGMJEngine(g)
+        pattern = GraphPattern.build(
+            {"A": "A", "C": "C", "D": "D"},
+            [("A", "C"), ("C", "D"), ("A", "D")],
+        )
+        expected = NaiveMatcher(g).match_set(pattern)
+        got, _ = engine.match(pattern)
+        assert set(got) == expected
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=20),
+    density=st.floats(min_value=0.05, max_value=0.3),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_tsd_and_igmj_match_naive_on_dags(n, density, seed):
+    g = random_dag(n, density, seed=seed, alphabet="ABC")
+    assume(all(g.extent(label) for label in "ABC"))
+    pattern = parse_pattern("A -> B -> C")
+    expected = NaiveMatcher(g).match_set(pattern)
+    tsd_rows, _ = TwigStackD(g).match(pattern)
+    igmj_rows, _ = IGMJEngine(g).match(pattern)
+    assert set(tsd_rows) == expected
+    assert set(igmj_rows) == expected
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=18),
+    density=st.floats(min_value=0.05, max_value=0.3),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_igmj_matches_naive_on_cyclic_digraphs(n, density, seed):
+    g = random_digraph(n, density, seed=seed, alphabet="ABC")
+    assume(all(g.extent(label) for label in "ABC"))
+    pattern = parse_pattern("A -> B, B -> C, A -> C")
+    expected = NaiveMatcher(g).match_set(pattern)
+    got, _ = IGMJEngine(g).match(pattern)
+    assert set(got) == expected

@@ -1,0 +1,95 @@
+"""Tests for the chain-cover reachability index."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_dag, random_digraph, random_tree
+from repro.graph.traversal import TransitiveClosure
+from repro.labeling.chaincover import build_chain_cover
+from repro.labeling.twohop import build_two_hop
+
+
+def assert_cover_correct(graph):
+    cover = build_chain_cover(graph)
+    closure = TransitiveClosure(graph)
+    for u in graph.nodes():
+        for v in graph.nodes():
+            assert cover.reaches(u, v) == closure.reaches(u, v), (u, v)
+
+
+class TestChainCover:
+    def test_chain_graph_single_chain(self):
+        g = DiGraph()
+        g.add_nodes(["A"] * 6)
+        g.add_edges([(i, i + 1) for i in range(5)])
+        cover = build_chain_cover(g)
+        assert cover.chain_count == 1
+        assert_cover_correct(g)
+
+    def test_antichain_needs_many_chains(self):
+        g = DiGraph()
+        g.add_nodes(["A"] * 7)  # no edges: every node is its own chain
+        cover = build_chain_cover(g)
+        assert cover.chain_count == 7
+        assert_cover_correct(g)
+
+    def test_self_reachability(self):
+        g = random_dag(15, 0.2, seed=1)
+        cover = build_chain_cover(g)
+        assert all(cover.reaches(v, v) for v in g.nodes())
+
+    def test_cycles_share_coordinates(self, cyclic_graph):
+        cover = build_chain_cover(cyclic_graph)
+        assert cover.chain_of[0] == cover.chain_of[1] == cover.chain_of[2]
+        assert_cover_correct(cyclic_graph)
+
+    def test_positions_increase_along_chains(self):
+        g = random_dag(30, 0.15, seed=4)
+        cover = build_chain_cover(g)
+        by_chain = {}
+        closure = TransitiveClosure(g)
+        for v in g.nodes():
+            by_chain.setdefault(cover.chain_of[v], []).append(v)
+        for members in by_chain.values():
+            members.sort(key=lambda v: cover.position_of[v])
+            for a, b in zip(members, members[1:]):
+                assert closure.reaches(a, b)  # chains are real chains
+
+    def test_index_entries_counts_finite_cells(self):
+        g = random_dag(20, 0.2, seed=6)
+        cover = build_chain_cover(g)
+        assert 0 < cover.index_entries() <= g.node_count * cover.chain_count
+
+    def test_tradeoff_vs_twohop_on_wide_graphs(self):
+        """Wide (star) graphs: chain-cover index blows up in k while the
+        2-hop cover stays near-linear — the historical motivation."""
+        g = DiGraph()
+        root = g.add_node("R")
+        leaves = [g.add_node("L") for _ in range(60)]
+        for leaf in leaves:
+            g.add_edge(root, leaf)
+        cover = build_chain_cover(g)
+        labeling = build_two_hop(g)
+        assert cover.chain_count >= 60  # one chain per unordered leaf
+        assert labeling.cover_size() <= 3 * g.node_count
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=25),
+    density=st.floats(min_value=0.0, max_value=0.35),
+    seed=st.integers(min_value=0, max_value=100_000),
+)
+def test_property_chain_cover_equals_bfs(n, density, seed):
+    g = random_digraph(n, density, seed=seed)
+    assert_cover_correct(g)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=25),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_tree_chain_cover(n, seed):
+    g = random_tree(n, seed=seed)
+    assert_cover_correct(g)

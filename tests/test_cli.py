@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def db_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "test.db.json"
+    rc = main([
+        "build", "--factor", "0.1", "--budget", "500",
+        "--seed", "3", "--out", str(path),
+    ])
+    assert rc == 0
+    return str(path)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_build_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["build"])
+
+    def test_query_optimizer_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "db", "A -> B",
+                                       "--optimizer", "quantum"])
+
+
+class TestCommands:
+    def test_build_writes_loadable_file(self, db_path):
+        from repro.db.persist import load_database
+
+        db = load_database(db_path)
+        assert db.graph.node_count > 0
+
+    def test_stats(self, db_path, capsys):
+        assert main(["stats", db_path]) == 0
+        out = capsys.readouterr().out
+        assert "|H|" in out and "nodes" in out
+
+    def test_stats_with_labels(self, db_path, capsys):
+        assert main(["stats", db_path, "--labels"]) == 0
+        out = capsys.readouterr().out
+        assert "person" in out
+
+    def test_query_prints_rows_and_metrics(self, db_path, capsys):
+        assert main(["query", db_path, "itemref -> item"]) == 0
+        captured = capsys.readouterr()
+        assert "itemref\titem" in captured.out
+        assert "row(s)" in captured.err
+
+    def test_query_head_truncation(self, db_path, capsys):
+        assert main(["query", db_path, "itemref -> item", "--head", "1"]) == 0
+        captured = capsys.readouterr()
+        body_lines = [l for l in captured.out.splitlines() if "\t" in l]
+        assert len(body_lines) <= 2  # header + 1 row
+
+    def test_query_all_prints_everything(self, db_path, capsys):
+        assert main(["query", db_path, "itemref -> item", "--all"]) == 0
+        captured = capsys.readouterr()
+        assert "more rows" not in captured.err
+
+    def test_query_limit_streams(self, db_path, capsys):
+        assert main(["query", db_path, "itemref -> item", "--limit", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "streamed" in captured.err
+        assert len([l for l in captured.out.splitlines() if l.strip()]) == 2
+
+    def test_query_explain(self, db_path, capsys):
+        assert main(["query", db_path, "itemref -> item", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "est_cost" in out
+
+    def test_query_dp_optimizer(self, db_path, capsys):
+        assert main(["query", db_path, "itemref -> item",
+                     "--optimizer", "dp"]) == 0
+
+    def test_bench_smoke(self, capsys):
+        assert main(["bench", "--budget", "250", "--queries", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "all engines agree" in out
+
+    def test_stats_storage_report(self, db_path, capsys):
+        assert main(["stats", db_path, "--storage"]) == 0
+        out = capsys.readouterr().out
+        assert "storage footprint" in out
+        assert "__disk__" in out

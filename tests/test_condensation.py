@@ -1,0 +1,98 @@
+"""Tests for SCC detection and DAG condensation."""
+
+import networkx as nx
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.condensation import condense, strongly_connected_components
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_digraph
+from repro.graph.traversal import is_dag, is_reachable
+
+
+def _to_networkx(graph: DiGraph) -> nx.DiGraph:
+    nxg = nx.DiGraph()
+    nxg.add_nodes_from(graph.nodes())
+    nxg.add_edges_from(graph.edges())
+    return nxg
+
+
+class TestSCC:
+    def test_cycle_is_one_component(self, cyclic_graph):
+        components = strongly_connected_components(cyclic_graph)
+        as_sets = [frozenset(c) for c in components]
+        assert frozenset({0, 1, 2}) in as_sets
+        assert frozenset({3}) in as_sets
+
+    def test_dag_has_singleton_components(self, small_dag):
+        components = strongly_connected_components(small_dag)
+        assert all(len(c) == 1 for c in components)
+        assert len(components) == small_dag.node_count
+
+    def test_matches_networkx_on_random_graphs(self):
+        for seed in range(5):
+            g = random_digraph(30, 0.1, seed=seed)
+            ours = {frozenset(c) for c in strongly_connected_components(g)}
+            theirs = {
+                frozenset(c)
+                for c in nx.strongly_connected_components(_to_networkx(g))
+            }
+            assert ours == theirs
+
+    def test_long_cycle_no_recursion_error(self):
+        n = 5000
+        g = DiGraph()
+        g.add_nodes(["A"] * n)
+        g.add_edges([(i, (i + 1) % n) for i in range(n)])
+        components = strongly_connected_components(g)
+        assert len(components) == 1
+        assert len(components[0]) == n
+
+
+class TestCondensation:
+    def test_result_is_dag(self, cyclic_graph):
+        cond = condense(cyclic_graph)
+        assert is_dag(cond.dag)
+
+    def test_scc_numbering_is_topological(self):
+        for seed in range(5):
+            g = random_digraph(25, 0.12, seed=seed)
+            cond = condense(g)
+            for u, v in cond.dag.edges():
+                assert u < v  # topological numbering
+
+    def test_members_partition_nodes(self, cyclic_graph):
+        cond = condense(cyclic_graph)
+        seen = sorted(node for members in cond.members for node in members)
+        assert seen == list(cyclic_graph.nodes())
+        for scc, members in enumerate(cond.members):
+            assert all(cond.scc_of[v] == scc for v in members)
+
+    def test_representative_is_min_member(self, cyclic_graph):
+        cond = condense(cyclic_graph)
+        for scc in range(cond.dag.node_count):
+            assert cond.representative(scc) == min(cond.members[scc])
+
+    def test_no_duplicate_dag_edges(self):
+        g = DiGraph()
+        g.add_nodes(["A"] * 4)
+        # two SCCs {0,1} and {2,3} with two cross edges
+        g.add_edges([(0, 1), (1, 0), (2, 3), (3, 2), (0, 2), (1, 3)])
+        cond = condense(g)
+        assert cond.dag.edge_count == 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=20),
+    density=st.floats(min_value=0.0, max_value=0.4),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_condensation_preserves_reachability(n, density, seed):
+    """u ~> v in G  iff  scc(u) ~> scc(v) in the condensation DAG."""
+    g = random_digraph(n, density, seed=seed)
+    cond = condense(g)
+    for u in g.nodes():
+        for v in g.nodes():
+            expected = is_reachable(g, u, v)
+            got = is_reachable(cond.dag, cond.scc_of[u], cond.scc_of[v])
+            assert expected == got

@@ -1,0 +1,147 @@
+"""Unit tests for the labeled digraph core."""
+
+import pytest
+
+from repro.graph.digraph import DiGraph, GraphError
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = DiGraph()
+        assert g.node_count == 0
+        assert g.edge_count == 0
+        assert list(g.edges()) == []
+
+    def test_presized_graph_gets_default_labels(self):
+        g = DiGraph(3)
+        assert g.node_count == 3
+        assert all(g.label(v) == DiGraph.DEFAULT_LABEL for v in g.nodes())
+
+    def test_add_node_returns_sequential_ids(self):
+        g = DiGraph()
+        assert g.add_node("A") == 0
+        assert g.add_node("B") == 1
+        assert g.label(0) == "A"
+        assert g.label(1) == "B"
+
+    def test_add_nodes_bulk(self):
+        g = DiGraph()
+        ids = g.add_nodes(["A", "B", "A"])
+        assert ids == [0, 1, 2]
+        assert g.labels() == ["A", "B", "A"]
+
+    def test_add_edge_updates_both_adjacencies(self):
+        g = DiGraph()
+        g.add_nodes(["A", "B"])
+        g.add_edge(0, 1)
+        assert g.successors(0) == [1]
+        assert g.predecessors(1) == [0]
+        assert g.edge_count == 1
+
+    def test_parallel_edges_are_kept(self):
+        g = DiGraph()
+        g.add_nodes(["A", "B"])
+        g.add_edge(0, 1)
+        g.add_edge(0, 1)
+        assert g.edge_count == 2
+        assert g.successors(0) == [1, 1]
+
+    def test_edge_to_missing_node_raises(self):
+        g = DiGraph()
+        g.add_node("A")
+        with pytest.raises(GraphError):
+            g.add_edge(0, 5)
+        with pytest.raises(GraphError):
+            g.add_edge(-1, 0)
+
+    def test_set_label(self):
+        g = DiGraph()
+        g.add_node("A")
+        g.set_label(0, "Z")
+        assert g.label(0) == "Z"
+        assert g.extent("Z") == (0,)
+        assert g.extent("A") == ()
+
+
+class TestInspection:
+    def test_extents_group_by_label(self):
+        g = DiGraph()
+        g.add_nodes(["A", "B", "A", "C", "A"])
+        assert g.extent("A") == (0, 2, 4)
+        assert g.extent("B") == (1,)
+        assert g.extent("missing") == ()
+
+    def test_extent_cache_invalidated_on_add(self):
+        g = DiGraph()
+        g.add_node("A")
+        assert g.extent("A") == (0,)
+        g.add_node("A")
+        assert g.extent("A") == (0, 1)
+
+    def test_alphabet_sorted_unique(self):
+        g = DiGraph()
+        g.add_nodes(["C", "A", "C", "B"])
+        assert g.alphabet() == ["A", "B", "C"]
+
+    def test_degrees(self):
+        g = DiGraph()
+        g.add_nodes(["A", "B", "C"])
+        g.add_edges([(0, 1), (0, 2), (1, 2)])
+        assert g.out_degree(0) == 2
+        assert g.in_degree(2) == 2
+        assert g.in_degree(0) == 0
+
+    def test_has_edge_scans_smaller_side(self):
+        g = DiGraph()
+        g.add_nodes(["A"] * 5)
+        g.add_edges([(0, i) for i in range(1, 5)])
+        assert g.has_edge(0, 3)
+        assert not g.has_edge(3, 0)
+        assert not g.has_edge(1, 2)
+
+    def test_edges_iterates_all(self):
+        g = DiGraph()
+        g.add_nodes(["A", "B", "C"])
+        edges = [(0, 1), (1, 2), (0, 2)]
+        g.add_edges(edges)
+        assert sorted(g.edges()) == sorted(edges)
+
+
+class TestTransforms:
+    def test_reversed_flips_edges_keeps_labels(self):
+        g = DiGraph()
+        g.add_nodes(["A", "B"])
+        g.add_edge(0, 1)
+        r = g.reversed()
+        assert r.successors(1) == [0]
+        assert r.predecessors(0) == [1]
+        assert r.label(0) == "A"
+        assert r.edge_count == 1
+
+    def test_reversed_is_independent_copy(self):
+        g = DiGraph()
+        g.add_nodes(["A", "B"])
+        g.add_edge(0, 1)
+        r = g.reversed()
+        g.add_edge(1, 0)
+        assert r.edge_count == 1
+
+    def test_subgraph_keeps_induced_edges(self):
+        g = DiGraph()
+        g.add_nodes(["A", "B", "C", "D"])
+        g.add_edges([(0, 1), (1, 2), (2, 3), (0, 3)])
+        sub, remap = g.subgraph([0, 1, 3])
+        assert sub.node_count == 3
+        assert sorted(sub.edges()) == sorted(
+            [(remap[0], remap[1]), (remap[0], remap[3])]
+        )
+        assert sub.label(remap[3]) == "D"
+
+    def test_copy_is_deep_for_structure(self):
+        g = DiGraph()
+        g.add_nodes(["A", "B"])
+        g.add_edge(0, 1)
+        c = g.copy()
+        g.add_edge(1, 0)
+        assert c.edge_count == 1
+        assert c.labels() == ["A", "B"]

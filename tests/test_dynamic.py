@@ -1,0 +1,138 @@
+"""Tests for incremental reachability (DynamicReachability)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_dag, random_digraph
+from repro.graph.traversal import is_reachable
+from repro.labeling.dynamic import DynamicReachability
+
+
+def assert_matches_bfs(oracle: DynamicReachability) -> None:
+    g = oracle.graph
+    for u in g.nodes():
+        for v in g.nodes():
+            expected = is_reachable(g, u, v)
+            assert oracle.reaches(u, v) == expected, f"{u}~>{v}"
+
+
+class TestDynamicReachability:
+    def test_no_updates_equals_static(self):
+        g = random_digraph(20, 0.1, seed=3)
+        oracle = DynamicReachability(g.copy())
+        assert_matches_bfs(oracle)
+
+    def test_single_patch_edge(self):
+        g = DiGraph()
+        g.add_nodes(["A"] * 4)
+        g.add_edges([(0, 1), (2, 3)])
+        oracle = DynamicReachability(g)
+        assert not oracle.reaches(0, 3)
+        oracle.add_edge(1, 2)
+        assert oracle.reaches(0, 3)
+        assert oracle.reaches(0, 2)
+        assert not oracle.reaches(3, 0)
+
+    def test_chained_patch_edges(self):
+        """Reachability through several patch edges interleaved with
+        static paths."""
+        g = DiGraph()
+        g.add_nodes(["A"] * 6)
+        g.add_edges([(0, 1), (2, 3), (4, 5)])
+        oracle = DynamicReachability(g)
+        oracle.add_edge(1, 2)
+        oracle.add_edge(3, 4)
+        assert oracle.reaches(0, 5)
+
+    def test_patch_edge_creating_cycle(self):
+        g = DiGraph()
+        g.add_nodes(["A"] * 3)
+        g.add_edges([(0, 1), (1, 2)])
+        oracle = DynamicReachability(g)
+        oracle.add_edge(2, 0)  # closes a cycle
+        for u in range(3):
+            for v in range(3):
+                assert oracle.reaches(u, v)
+
+    def test_new_node_then_edges(self):
+        g = DiGraph()
+        g.add_nodes(["A", "B"])
+        g.add_edge(0, 1)
+        oracle = DynamicReachability(g)
+        c = oracle.add_node("C")
+        assert oracle.reaches(c, c)
+        assert not oracle.reaches(0, c)
+        oracle.add_edge(1, c)
+        assert oracle.reaches(0, c)
+        assert not oracle.reaches(c, 0)
+
+    def test_rebuild_clears_patches_preserves_answers(self):
+        g = random_dag(15, 0.15, seed=5)
+        oracle = DynamicReachability(g, auto_rebuild_after=None)
+        oracle.add_edge(3, 7)
+        oracle.add_edge(9, 2)
+        before = {
+            (u, v): oracle.reaches(u, v)
+            for u in g.nodes() for v in g.nodes()
+        }
+        oracle.rebuild()
+        assert oracle.patch_size == 0
+        after = {
+            (u, v): oracle.reaches(u, v)
+            for u in g.nodes() for v in g.nodes()
+        }
+        assert before == after
+
+    def test_auto_rebuild_triggers(self):
+        g = DiGraph()
+        g.add_nodes(["A"] * 10)
+        oracle = DynamicReachability(g, auto_rebuild_after=3)
+        oracle.add_edge(0, 1)
+        oracle.add_edge(1, 2)
+        assert oracle.rebuild_count == 0
+        oracle.add_edge(2, 3)  # third patch triggers the fold
+        assert oracle.rebuild_count == 1
+        assert oracle.patch_size == 0
+        assert oracle.reaches(0, 3)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=15),
+    density=st.floats(min_value=0.0, max_value=0.25),
+    seed=st.integers(min_value=0, max_value=10_000),
+    extra=st.lists(
+        st.tuples(st.integers(0, 14), st.integers(0, 14)), max_size=8
+    ),
+)
+def test_property_dynamic_equals_bfs_after_updates(n, density, seed, extra):
+    g = random_digraph(n, density, seed=seed)
+    oracle = DynamicReachability(g, auto_rebuild_after=None)
+    for u, v in extra:
+        if u < n and v < n and u != v:
+            oracle.add_edge(u, v)
+    assert_matches_bfs(oracle)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=12),
+    seed=st.integers(min_value=0, max_value=10_000),
+    rebuild_after=st.integers(min_value=1, max_value=4),
+)
+def test_property_auto_rebuild_never_changes_answers(n, seed, rebuild_after):
+    import random as _random
+
+    rng = _random.Random(seed)
+    g = random_digraph(n, 0.1, seed=seed)
+    with_rebuild = DynamicReachability(g.copy(), auto_rebuild_after=rebuild_after)
+    without = DynamicReachability(g.copy(), auto_rebuild_after=None)
+    for _ in range(6):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            with_rebuild.add_edge(u, v)
+            without.add_edge(u, v)
+    for u in range(n):
+        for v in range(n):
+            assert with_rebuild.reaches(u, v) == without.reaches(u, v)

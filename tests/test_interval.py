@@ -1,0 +1,142 @@
+"""Tests for interval codes: spanning-tree pre/post and multi-interval."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_dag, random_digraph, random_tree
+from repro.graph.traversal import TransitiveClosure
+from repro.labeling.interval import (
+    build_multi_interval,
+    build_tree_intervals,
+    merge_intervals,
+    point_in_intervals,
+)
+
+
+class TestMergeIntervals:
+    def test_empty(self):
+        assert merge_intervals([]) == []
+
+    def test_disjoint_kept(self):
+        assert merge_intervals([(5, 6), (1, 2)]) == [(1, 2), (5, 6)]
+
+    def test_overlapping_merged(self):
+        assert merge_intervals([(1, 4), (3, 7)]) == [(1, 7)]
+
+    def test_adjacent_integers_coalesce(self):
+        assert merge_intervals([(1, 2), (3, 4)]) == [(1, 4)]
+
+    def test_contained_absorbed(self):
+        assert merge_intervals([(1, 10), (3, 4)]) == [(1, 10)]
+
+    def test_point_membership(self):
+        intervals = [(1, 3), (7, 9)]
+        assert point_in_intervals(intervals, 2)
+        assert point_in_intervals(intervals, 7)
+        assert point_in_intervals(intervals, 9)
+        assert not point_in_intervals(intervals, 5)
+        assert not point_in_intervals(intervals, 0)
+        assert not point_in_intervals([], 3)
+
+
+class TestTreeIntervals:
+    def test_rejects_cycles(self, cyclic_graph):
+        from repro.graph.digraph import GraphError
+
+        with pytest.raises(GraphError):
+            build_tree_intervals(cyclic_graph)
+
+    def test_tree_ancestor_on_pure_tree(self):
+        g = random_tree(60, seed=3)
+        tree = build_tree_intervals(g)
+        closure = TransitiveClosure(g)
+        for u in g.nodes():
+            for v in g.nodes():
+                # on a tree, spanning-tree ancestry == reachability
+                assert tree.tree_ancestor(u, v) == closure.reaches(u, v)
+
+    def test_non_tree_edges_on_pure_tree_is_empty(self):
+        g = random_tree(40, seed=5)
+        assert build_tree_intervals(g).non_tree_edges == []
+
+    def test_non_tree_edges_partition(self):
+        g = random_dag(30, 0.15, seed=7)
+        tree = build_tree_intervals(g)
+        tree_edges = sum(1 for v in g.nodes() if tree.tree_parent[v] != -1)
+        assert tree_edges + len(tree.non_tree_edges) == g.edge_count
+
+    def test_ancestry_is_sound_for_reachability(self):
+        """Interval containment may under-approximate but never lie."""
+        g = random_dag(25, 0.2, seed=9)
+        tree = build_tree_intervals(g)
+        closure = TransitiveClosure(g)
+        for u in g.nodes():
+            for v in g.nodes():
+                if tree.tree_ancestor(u, v):
+                    assert closure.reaches(u, v)
+
+
+class TestMultiInterval:
+    def assert_code_correct(self, g):
+        code = build_multi_interval(g)
+        closure = TransitiveClosure(g)
+        for u in g.nodes():
+            for v in g.nodes():
+                assert code.reaches(u, v) == closure.reaches(u, v)
+
+    def test_chain(self):
+        g = DiGraph()
+        g.add_nodes(["A"] * 5)
+        g.add_edges([(i, i + 1) for i in range(4)])
+        self.assert_code_correct(g)
+        code = build_multi_interval(g)
+        # a chain compresses into a single interval per node
+        assert all(len(code.intervals[v]) == 1 for v in g.nodes())
+
+    def test_scc_members_share_code(self, cyclic_graph):
+        code = build_multi_interval(cyclic_graph)
+        assert code.post[0] == code.post[1] == code.post[2]
+        assert code.intervals[0] == code.intervals[1] == code.intervals[2]
+        self.assert_code_correct(cyclic_graph)
+
+    def test_total_intervals_counts_condensed_nodes_once(self, cyclic_graph):
+        code = build_multi_interval(cyclic_graph)
+        # 2 condensed nodes, each with at least one interval
+        assert code.total_intervals() >= 2
+
+    def test_empty_graph(self):
+        code = build_multi_interval(DiGraph())
+        assert code.post == []
+
+
+@settings(max_examples=35, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=25),
+    density=st.floats(min_value=0.0, max_value=0.4),
+    seed=st.integers(min_value=0, max_value=100_000),
+)
+def test_property_multi_interval_equals_bfs_on_digraphs(n, density, seed):
+    g = random_digraph(n, density, seed=seed)
+    code = build_multi_interval(g)
+    closure = TransitiveClosure(g)
+    for u in g.nodes():
+        for v in g.nodes():
+            assert code.reaches(u, v) == closure.reaches(u, v)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=25),
+    density=st.floats(min_value=0.0, max_value=0.4),
+    seed=st.integers(min_value=0, max_value=100_000),
+)
+def test_property_intervals_are_disjoint_and_sorted(n, density, seed):
+    g = random_dag(n, density, seed=seed)
+    code = build_multi_interval(g)
+    for v in g.nodes():
+        intervals = code.intervals[v]
+        for lo, hi in intervals:
+            assert lo <= hi
+        for (_, hi1), (lo2, _) in zip(intervals, intervals[1:]):
+            assert hi1 + 1 < lo2  # disjoint and non-adjacent after merging

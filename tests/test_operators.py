@@ -1,0 +1,205 @@
+"""Tests for the physical operators: HPSJ, Filter, Fetch, Selection."""
+
+import pytest
+
+from repro.baselines.naive import NaiveMatcher
+from repro.db.database import GraphDatabase
+from repro.graph.generators import figure1_graph, random_digraph
+from repro.graph.traversal import TransitiveClosure
+from repro.query.algebra import Side, TemporalTable
+from repro.query.operators import (
+    apply_fetch,
+    apply_filter,
+    apply_selection,
+    hpsj,
+    seed_scan,
+)
+from repro.query.pattern import GraphPattern
+
+
+@pytest.fixture(scope="module")
+def db():
+    return GraphDatabase(figure1_graph())
+
+
+@pytest.fixture(scope="module")
+def closure(db):
+    return TransitiveClosure(db.graph)
+
+
+def two_var_pattern(x_label, y_label):
+    return GraphPattern.build(
+        {x_label: x_label, y_label: y_label}, [(x_label, y_label)]
+    )
+
+
+class TestSeedOperators:
+    def test_seed_scan_returns_extent(self, db):
+        pattern = GraphPattern.build({"B": "B"}, [])
+        table, metrics = seed_scan(db, pattern, "B")
+        rows = {row[0] for row in table.table.scan()}
+        assert rows == set(db.graph.extent("B"))
+        assert metrics.rows_out == len(rows)
+
+    def test_hpsj_equals_all_reachable_pairs(self, db, closure):
+        """Algorithm 1 output == exact reachability join of two extents."""
+        for x_label, y_label in [("B", "C"), ("A", "E"), ("C", "D"), ("B", "E")]:
+            pattern = two_var_pattern(x_label, y_label)
+            table, _ = hpsj(db, pattern, (x_label, y_label))
+            got = {tuple(r[:2]) for r in table.table.scan()}
+            expected = {
+                (u, v)
+                for u in db.graph.extent(x_label)
+                for v in db.graph.extent(y_label)
+                if closure.reaches(u, v)
+            }
+            assert got == expected
+
+    def test_hpsj_paper_example_pair(self, db):
+        """Section 3.1: (b0, e7) ∈ T_B ⋈ T_E."""
+        pattern = two_var_pattern("B", "E")
+        table, _ = hpsj(db, pattern, ("B", "E"))
+        pairs = {tuple(r[:2]) for r in table.table.scan()}
+        # find b0 (first B node) and e7 (last E node) by construction order
+        b0 = db.graph.extent("B")[0]
+        e7 = db.graph.extent("E")[-1]
+        assert (b0, e7) in pairs
+
+    def test_hpsj_no_duplicates(self, db):
+        pattern = two_var_pattern("B", "E")
+        table, _ = hpsj(db, pattern, ("B", "E"))
+        rows = [tuple(r) for r in table.table.scan()]
+        assert len(rows) == len(set(rows))
+
+
+class TestFilterFetch:
+    def test_filter_never_drops_joinable_rows(self, db, closure):
+        """Safety: a row whose node reaches some Y-labeled node survives."""
+        pattern = GraphPattern.build(
+            {"B": "B", "C": "C", "D": "D"}, [("B", "C"), ("C", "D")]
+        )
+        seeded, _ = hpsj(db, pattern, ("B", "C"))
+        filtered, metrics = apply_filter(
+            db, pattern, seeded, [(("C", "D"), Side.OUT)]
+        )
+        survivors = {tuple(r[:2]) for r in filtered.table.scan()}
+        for row in seeded.table.scan():
+            c_node = row[1]
+            joinable = any(
+                closure.reaches(c_node, d) for d in db.graph.extent("D")
+            )
+            assert ((row[0], row[1]) in survivors) == joinable
+        assert metrics.rows_in == len(seeded.table)
+
+    def test_filter_then_fetch_is_exact_join(self, db, closure):
+        """Filter+Fetch == HPSJ+ R-join == true reachability join."""
+        pattern = GraphPattern.build(
+            {"B": "B", "C": "C", "D": "D"}, [("B", "C"), ("C", "D")]
+        )
+        seeded, _ = hpsj(db, pattern, ("B", "C"))
+        filtered, _ = apply_filter(db, pattern, seeded, [(("C", "D"), Side.OUT)])
+        fetched, _ = apply_fetch(db, pattern, filtered, ("C", "D"), Side.OUT)
+        got = {tuple(r[:3]) for r in fetched.table.scan()}
+        expected = set()
+        for b, c in ((r[0], r[1]) for r in seeded.table.scan()):
+            for d in db.graph.extent("D"):
+                if closure.reaches(c, d):
+                    expected.add((b, c, d))
+        assert got == expected
+
+    def test_reverse_direction_fetch(self, db, closure):
+        """Side.IN: temporal holds the *target*, fetch adds the source."""
+        pattern = GraphPattern.build(
+            {"C": "C", "D": "D", "B": "B"}, [("C", "D"), ("B", "C")]
+        )
+        seeded, _ = hpsj(db, pattern, ("C", "D"))
+        filtered, _ = apply_filter(db, pattern, seeded, [(("B", "C"), Side.IN)])
+        fetched, _ = apply_fetch(db, pattern, filtered, ("B", "C"), Side.IN)
+        got = {(r[2], r[0], r[1]) for r in fetched.table.scan()}
+        expected = set()
+        for c, d in ((r[0], r[1]) for r in seeded.table.scan()):
+            for b in db.graph.extent("B"):
+                if closure.reaches(b, c):
+                    expected.add((b, c, d))
+        assert got == expected
+
+    def test_shared_scan_multi_filter(self, db):
+        """Remark 3.1: two semijoins on the same column in one scan equal
+        two sequential single filters."""
+        pattern = GraphPattern.build(
+            {"C": "C", "D": "D", "E": "E", "B": "B"},
+            [("B", "C"), ("C", "D"), ("C", "E")],
+        )
+        seeded, _ = hpsj(db, pattern, ("B", "C"))
+        both, _ = apply_filter(
+            db, pattern, seeded,
+            [(("C", "D"), Side.OUT), (("C", "E"), Side.OUT)],
+        )
+        one, _ = apply_filter(db, pattern, seeded, [(("C", "D"), Side.OUT)])
+        two, _ = apply_filter(db, pattern, one, [(("C", "E"), Side.OUT)])
+        shared_rows = {tuple(r) for r in both.table.scan()}
+        seq_rows = {tuple(r) for r in two.table.scan()}
+        assert shared_rows == seq_rows
+
+    def test_shared_scan_rejects_mixed_columns(self, db):
+        pattern = GraphPattern.build(
+            {"B": "B", "C": "C", "D": "D", "E": "E"},
+            [("B", "C"), ("C", "D"), ("D", "E")],
+        )
+        seeded, _ = hpsj(db, pattern, ("B", "C"))
+        with pytest.raises(ValueError):
+            apply_filter(
+                db, pattern, seeded,
+                [(("C", "D"), Side.OUT), (("D", "E"), Side.OUT)],
+            )
+
+    def test_shared_scan_rejects_mixed_sides(self, db):
+        """Remark 3.1: sharing requires all X_i equal or all Y_i equal."""
+        pattern = GraphPattern.build(
+            {"B": "B", "C": "C", "D": "D"}, [("B", "C"), ("C", "D")]
+        )
+        seeded, _ = hpsj(db, pattern, ("B", "C"))
+        with pytest.raises(ValueError):
+            apply_filter(
+                db, pattern, seeded,
+                [(("C", "D"), Side.OUT), (("B", "C"), Side.IN)],
+            )
+
+    def test_fetch_deduplicates_partners(self, db):
+        """A partner witnessed by several centers must appear once."""
+        pattern = GraphPattern.build(
+            {"B": "B", "C": "C", "E": "E"}, [("B", "C"), ("C", "E")]
+        )
+        seeded, _ = hpsj(db, pattern, ("B", "C"))
+        filtered, _ = apply_filter(db, pattern, seeded, [(("C", "E"), Side.OUT)])
+        fetched, _ = apply_fetch(db, pattern, filtered, ("C", "E"), Side.OUT)
+        rows = [tuple(r) for r in fetched.table.scan()]
+        assert len(rows) == len(set(rows))
+
+
+class TestSelection:
+    def test_selection_keeps_exactly_reachable(self, db, closure):
+        pattern = GraphPattern.build(
+            {"B": "B", "C": "C", "E": "E"}, [("B", "C"), ("C", "E"), ("B", "E")]
+        )
+        seeded, _ = hpsj(db, pattern, ("B", "C"))
+        filtered, _ = apply_filter(db, pattern, seeded, [(("C", "E"), Side.OUT)])
+        fetched, _ = apply_fetch(db, pattern, filtered, ("C", "E"), Side.OUT)
+        selected, metrics = apply_selection(db, pattern, fetched, ("B", "E"))
+        got = {tuple(r[:3]) for r in selected.table.scan()}
+        for b, c, e in (tuple(r[:3]) for r in fetched.table.scan()):
+            assert ((b, c, e) in got) == closure.reaches(b, e)
+        assert metrics.rows_in >= metrics.rows_out
+
+
+class TestAgainstNaive:
+    def test_manual_pipeline_matches_naive(self, db):
+        pattern = GraphPattern.build(
+            {"A": "A", "C": "C", "D": "D"}, [("A", "C"), ("C", "D")]
+        )
+        seeded, _ = hpsj(db, pattern, ("A", "C"))
+        filtered, _ = apply_filter(db, pattern, seeded, [(("C", "D"), Side.OUT)])
+        fetched, _ = apply_fetch(db, pattern, filtered, ("C", "D"), Side.OUT)
+        got = {tuple(r[:3]) for r in fetched.table.scan()}
+        naive = NaiveMatcher(db.graph).match_set(pattern)
+        assert got == naive

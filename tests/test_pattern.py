@@ -1,0 +1,137 @@
+"""Tests for the pattern model and the textual parser."""
+
+import pytest
+
+from repro.query.parser import parse_pattern
+from repro.query.pattern import GraphPattern, PatternError
+
+
+class TestBuild:
+    def test_basic_pattern(self):
+        p = GraphPattern.build(
+            {"A": "A", "C": "C"}, [("A", "C")]
+        )
+        assert p.variables == ("A", "C")
+        assert p.conditions == (("A", "C"),)
+        assert p.condition_labels(("A", "C")) == ("A", "C")
+
+    def test_unknown_variable_in_edge(self):
+        with pytest.raises(PatternError):
+            GraphPattern.build({"A": "A"}, [("A", "B")])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(PatternError):
+            GraphPattern.build({"A": "A", "B": "B"}, [("A", "A"), ("A", "B")])
+
+    def test_duplicate_edges_deduplicated(self):
+        p = GraphPattern.build({"A": "A", "B": "B"}, [("A", "B"), ("A", "B")])
+        assert p.edge_count == 1
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(PatternError):
+            GraphPattern.build(
+                {"A": "A", "B": "B", "C": "C", "D": "D"},
+                [("A", "B"), ("C", "D")],
+            )
+
+    def test_multi_node_without_edges_rejected(self):
+        with pytest.raises(PatternError):
+            GraphPattern.build({"A": "A", "B": "B"}, [])
+
+    def test_single_node_ok(self):
+        p = GraphPattern.build({"A": "A"}, [])
+        assert p.node_count == 1
+        assert p.is_connected()
+
+    def test_empty_rejected(self):
+        with pytest.raises(PatternError):
+            GraphPattern.build({}, [])
+
+    def test_shared_labels_across_variables(self):
+        p = GraphPattern.build(
+            {"x": "person", "y": "person", "a": "auction"},
+            [("x", "a"), ("a", "y")],
+        )
+        assert p.label("x") == p.label("y") == "person"
+
+
+class TestShapePredicates:
+    def test_path(self):
+        p = GraphPattern.build(
+            {"A": "A", "B": "B", "C": "C"},
+            [("A", "B"), ("B", "C")],
+        )
+        assert p.is_path()
+        assert p.is_tree()
+        assert p.root() == "A"
+
+    def test_tree_not_path(self):
+        p = GraphPattern.build(
+            {"A": "A", "B": "B", "C": "C"}, [("A", "B"), ("A", "C")]
+        )
+        assert not p.is_path()
+        assert p.is_tree()
+        assert p.children("A") == ("B", "C")
+
+    def test_diamond_is_neither(self):
+        p = GraphPattern.build(
+            {"A": "A", "B": "B", "C": "C", "D": "D"},
+            [("A", "B"), ("A", "C"), ("B", "D"), ("C", "D")],
+        )
+        assert not p.is_path()
+        assert not p.is_tree()
+        with pytest.raises(PatternError):
+            p.root()
+
+    def test_adjacent(self):
+        p = GraphPattern.build(
+            {"A": "A", "B": "B", "C": "C"}, [("A", "B"), ("B", "C")]
+        )
+        assert p.adjacent("B") == {"A", "C"}
+        assert p.adjacent("A") == {"B"}
+
+
+class TestParser:
+    def test_bare_labels(self):
+        p = parse_pattern("A -> C, B -> C")
+        assert p.variables == ("A", "C", "B")
+        assert p.label("A") == "A"
+        assert set(p.conditions) == {("A", "C"), ("B", "C")}
+
+    def test_chains(self):
+        p = parse_pattern("A -> B -> C -> D")
+        assert p.conditions == (("A", "B"), ("B", "C"), ("C", "D"))
+        assert p.is_path()
+
+    def test_named_variables(self):
+        p = parse_pattern("s:supplier -> r:retailer, s -> w:wholeseller")
+        assert p.label("s") == "supplier"
+        assert p.label("w") == "wholeseller"
+        assert set(p.conditions) == {("s", "r"), ("s", "w")}
+
+    def test_relabel_conflict_rejected(self):
+        with pytest.raises(PatternError):
+            parse_pattern("x:A -> y:B, x:C -> y")
+
+    def test_newline_and_semicolon_separators(self):
+        p = parse_pattern("A -> B\nB -> C; C -> D")
+        assert p.edge_count == 3
+
+    def test_single_node(self):
+        p = parse_pattern("x:person")
+        assert p.node_count == 1
+        assert p.label("x") == "person"
+
+    def test_garbage_rejected(self):
+        with pytest.raises(PatternError):
+            parse_pattern("A -> -> B")
+        with pytest.raises(PatternError):
+            parse_pattern("")
+        with pytest.raises(PatternError):
+            parse_pattern("A => B")
+
+    def test_roundtrip_via_str(self):
+        p = parse_pattern("A -> C, B -> C, C -> D")
+        again = parse_pattern(str(p))
+        assert again.conditions == p.conditions
+        assert again.labels == p.labels

@@ -1,0 +1,73 @@
+"""Tests for the SSPI two-phase reachability oracle."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import layered_dag, random_dag, random_tree
+from repro.graph.traversal import TransitiveClosure
+from repro.labeling.sspi import SSPI
+
+
+class TestSSPI:
+    def test_pure_tree_needs_no_chase(self):
+        g = random_tree(50, seed=3)
+        sspi = SSPI(g)
+        assert sspi.remaining_edge_count() == 0
+        closure = TransitiveClosure(g)
+        for u in g.nodes():
+            for v in g.nodes():
+                assert sspi.reaches(u, v) == closure.reaches(u, v)
+
+    def test_non_tree_edge_is_found(self):
+        # 0 -> 1, 0 -> 2, 1 -> 2 : DFS takes (0,1),(1,2); (0,2) remains
+        g = DiGraph()
+        g.add_nodes(["A"] * 3)
+        g.add_edges([(0, 1), (1, 2), (0, 2)])
+        sspi = SSPI(g)
+        assert sspi.reaches(0, 2)
+
+    def test_chained_non_tree_edges(self):
+        # two diamonds in a row force a chase through two remaining edges
+        g = DiGraph()
+        g.add_nodes(["A"] * 6)
+        g.add_edges([(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (3, 5), (4, 5)])
+        sspi = SSPI(g)
+        closure = TransitiveClosure(g)
+        for u in g.nodes():
+            for v in g.nodes():
+                assert sspi.reaches(u, v) == closure.reaches(u, v)
+
+    def test_predecessors_of_lists_non_tree_sources(self):
+        g = DiGraph()
+        g.add_nodes(["A"] * 3)
+        g.add_edges([(0, 1), (1, 2), (0, 2)])
+        sspi = SSPI(g)
+        assert sspi.predecessors_of(2) == [0]
+        assert sspi.predecessors_of(1) == []
+
+    def test_closure_probe_counter_grows_with_density(self):
+        sparse = layered_dag(4, 5, edge_prob=0.15, seed=1)
+        dense = layered_dag(4, 5, edge_prob=0.9, seed=1)
+        counts = []
+        for g in (sparse, dense):
+            sspi = SSPI(g)
+            for u in g.nodes():
+                for v in g.nodes():
+                    sspi.reaches(u, v)
+            counts.append(sspi.closure_probes)
+        assert counts[1] >= counts[0]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=22),
+    density=st.floats(min_value=0.0, max_value=0.45),
+    seed=st.integers(min_value=0, max_value=100_000),
+)
+def test_property_sspi_equals_bfs_on_dags(n, density, seed):
+    g = random_dag(n, density, seed=seed)
+    sspi = SSPI(g)
+    closure = TransitiveClosure(g)
+    for u in g.nodes():
+        for v in g.nodes():
+            assert sspi.reaches(u, v) == closure.reaches(u, v)

@@ -1,0 +1,87 @@
+"""Tests for the benchmark-JSON summarizer."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+from summarize import available_figures, figure_table, load_measurements, main
+
+
+@pytest.fixture
+def bench_json(tmp_path):
+    payload = {
+        "benchmarks": [
+            {
+                "name": "test_fig5a[DP-P1]",
+                "stats": {"mean": 0.0123},
+                "extra_info": {
+                    "figure": "5a", "query": "P1", "engine": "DP",
+                    "rows": 42, "physical_io": 7,
+                },
+            },
+            {
+                "name": "test_fig5a[TSD-P1]",
+                "stats": {"mean": 0.456},
+                "extra_info": {
+                    "figure": "5a", "query": "P1", "engine": "TSD", "rows": 42,
+                },
+            },
+            {
+                "name": "test_fig7[dp-XS]",
+                "stats": {"mean": 0.002},
+                "extra_info": {
+                    "figure": "7", "dataset": "XS", "engine": "DP",
+                    "rows": 5, "physical_io": 1,
+                },
+            },
+        ]
+    }
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestSummarize:
+    def test_load_measurements(self, bench_json):
+        measurements = load_measurements(bench_json)
+        assert len(measurements) == 3
+        assert measurements[0]["engine"] == "DP"
+        assert measurements[0]["mean_seconds"] == pytest.approx(0.0123)
+
+    def test_available_figures_preserves_order(self, bench_json):
+        assert available_figures(load_measurements(bench_json)) == ["5a", "7"]
+
+    def test_figure_table_renders_series(self, bench_json):
+        table = figure_table(load_measurements(bench_json), "5a")
+        assert "P1" in table
+        assert "DP" in table and "TSD" in table
+        assert "0.0123" in table
+        assert "0.4560" in table
+
+    def test_missing_io_rendered_as_dash(self, bench_json):
+        table = figure_table(load_measurements(bench_json), "5a")
+        # TSD has no physical_io field
+        assert "-" in table
+
+    def test_unknown_figure(self, bench_json):
+        table = figure_table(load_measurements(bench_json), "99")
+        assert "no measurements" in table
+
+    def test_main_prints_all_figures(self, bench_json, capsys):
+        assert main([bench_json]) == 0
+        out = capsys.readouterr().out
+        assert "figure 5a" in out and "figure 7" in out
+
+    def test_main_single_figure(self, bench_json, capsys):
+        assert main([bench_json, "--figure", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "figure 7" in out and "figure 5a" not in out
+
+    def test_main_empty_file(self, tmp_path, capsys):
+        path = tmp_path / "empty.json"
+        path.write_text('{"benchmarks": []}')
+        assert main([str(path)]) == 1

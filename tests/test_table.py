@@ -1,0 +1,71 @@
+"""Tests for the relational table layer."""
+
+import pytest
+
+from repro.storage.buffer import BufferPool
+from repro.storage.pages import DiskManager
+from repro.storage.table import SchemaError, Table
+
+
+def make_table(primary_key="id"):
+    pool = BufferPool(DiskManager(page_size=256), capacity_bytes=1 << 16)
+    return Table(pool, name="T", columns=("id", "x", "y"), primary_key=primary_key)
+
+
+class TestSchema:
+    def test_duplicate_columns_rejected(self):
+        pool = BufferPool(DiskManager())
+        with pytest.raises(SchemaError):
+            Table(pool, "T", columns=("a", "a"))
+
+    def test_unknown_primary_key_rejected(self):
+        pool = BufferPool(DiskManager())
+        with pytest.raises(SchemaError):
+            Table(pool, "T", columns=("a",), primary_key="b")
+
+    def test_wrong_arity_insert_rejected(self):
+        table = make_table()
+        with pytest.raises(SchemaError):
+            table.insert((1, 2))
+
+    def test_column_position(self):
+        table = make_table()
+        assert table.column_position("y") == 2
+        with pytest.raises(SchemaError):
+            table.column_position("z")
+
+
+class TestData:
+    def test_insert_scan_roundtrip(self):
+        table = make_table()
+        rows = [(i, i * 2, i * 3) for i in range(30)]
+        table.insert_many(rows)
+        assert list(table.scan()) == rows
+        assert len(table) == 30
+
+    def test_fetch_by_key(self):
+        table = make_table()
+        table.insert_many((i, i, i) for i in range(50))
+        assert table.fetch_by_key(17) == (17, 17, 17)
+        assert table.fetch_by_key(999) is None
+
+    def test_fetch_without_index_raises(self):
+        table = make_table(primary_key=None)
+        table.insert((1, 2, 3))
+        with pytest.raises(SchemaError):
+            table.fetch_by_key(1)
+
+    def test_project(self):
+        table = make_table()
+        table.insert_many([(1, 10, 100), (2, 20, 200)])
+        assert table.project(["y", "id"]) == [(100, 1), (200, 2)]
+
+    def test_fetch_uses_primary_index(self):
+        table = make_table()
+        table.insert_many((i, 0, 0) for i in range(100))
+        table.pool.stats.reset()
+        table.fetch_by_key(42)
+        # exactly one pk descent plus one heap page read
+        assert table.pool.stats.index_lookups.get("T.pk") == 1
+        # descent (height) + leaf re-read + one heap page
+        assert table.pool.stats.logical_reads == table.pk_index.height + 2

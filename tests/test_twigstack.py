@@ -1,0 +1,118 @@
+"""Tests for the classic TwigStack (tree data, ancestor-descendant twigs)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.naive import NaiveMatcher
+from repro.baselines.twigstack import TwigStack
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_dag, random_tree
+from repro.query.parser import parse_pattern
+from repro.query.pattern import GraphPattern, PatternError
+
+
+def small_document():
+    """A two-document forest with known structure.
+
+    doc1: a0 -> b0 -> c0, a0 -> b1
+    doc2: a1 -> c1
+    """
+    g = DiGraph()
+    a0 = g.add_node("A")
+    b0 = g.add_node("B")
+    c0 = g.add_node("C")
+    b1 = g.add_node("B")
+    a1 = g.add_node("A")
+    c1 = g.add_node("C")
+    g.add_edges([(a0, b0), (b0, c0), (a0, b1), (a1, c1)])
+    return g, (a0, b0, c0, b1, a1, c1)
+
+
+class TestTwigStack:
+    def test_rejects_non_forest(self):
+        g = DiGraph()
+        g.add_nodes(["A", "B", "C"])
+        g.add_edges([(0, 2), (1, 2)])  # two parents for node 2
+        with pytest.raises(ValueError):
+            TwigStack(g)
+
+    def test_rejects_non_tree_pattern(self):
+        g = random_tree(10, seed=1)
+        diamond = GraphPattern.build(
+            {"A": "A", "B": "B", "C": "C", "D": "D"},
+            [("A", "B"), ("A", "C"), ("B", "D"), ("C", "D")],
+        )
+        with pytest.raises(PatternError):
+            TwigStack(g).match(diamond)
+
+    def test_path_pattern_on_known_forest(self):
+        g, (a0, b0, c0, b1, a1, c1) = small_document()
+        ts = TwigStack(g)
+        assert ts.match(parse_pattern("A -> B -> C")) == [(a0, b0, c0)]
+        assert ts.match(parse_pattern("A -> C")) == sorted(
+            [(a0, c0), (a1, c1)]
+        )
+
+    def test_twig_pattern_on_known_forest(self):
+        g, (a0, b0, c0, b1, a1, c1) = small_document()
+        ts = TwigStack(g)
+        pattern = GraphPattern.build(
+            {"A": "A", "B": "B", "C": "C"}, [("A", "B"), ("A", "C")]
+        )
+        # both b0 and b1 pair with c0 under a0; a1 has no B below it
+        assert ts.match(pattern) == sorted([(a0, b0, c0), (a0, b1, c0)])
+
+    def test_single_node_pattern(self):
+        g, _ = small_document()
+        assert TwigStack(g).match(parse_pattern("x:B")) == [(1,), (3,)]
+
+    def test_empty_when_leaf_has_no_candidates(self):
+        g, _ = small_document()
+        pattern = GraphPattern.build(
+            {"A": "A", "Z": "Z"}, [("A", "Z")]
+        )
+        assert TwigStack(g).match(pattern) == []
+
+    def test_matches_naive_on_random_trees(self):
+        for seed in range(5):
+            g = random_tree(40, seed=seed)
+            ts = TwigStack(g)
+            for text in ("A -> B", "A -> B -> C", "A -> B, A -> C"):
+                pattern = parse_pattern(text)
+                expected = sorted(NaiveMatcher(g).match_set(pattern))
+                assert ts.match(pattern) == expected, (seed, text)
+
+    def test_deep_twig_on_random_trees(self):
+        g = random_tree(80, seed=9, alphabet="ABCD")
+        ts = TwigStack(g)
+        pattern = GraphPattern.build(
+            {"A": "A", "B": "B", "C": "C", "D": "D"},
+            [("A", "B"), ("B", "C"), ("A", "D")],
+        )
+        expected = sorted(NaiveMatcher(g).match_set(pattern))
+        assert ts.match(pattern) == expected
+
+    def test_agrees_with_twigstackd_on_trees(self):
+        """On pure trees the two holistic matchers coincide."""
+        from repro.baselines.twigstackd import TwigStackD
+
+        g = random_tree(50, seed=13)
+        pattern = parse_pattern("A -> B, A -> C")
+        ts_rows = TwigStack(g).match(pattern)
+        tsd_rows, _ = TwigStackD(g).match(pattern)
+        assert ts_rows == sorted(tsd_rows)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=35),
+    seed=st.integers(min_value=0, max_value=10_000),
+    text=st.sampled_from(
+        ["A -> B", "A -> B -> C", "A -> B, A -> C", "B -> A", "A -> B, B -> C, B -> D"]
+    ),
+)
+def test_property_twigstack_equals_naive_on_trees(n, seed, text):
+    g = random_tree(n, seed=seed, alphabet="ABCD")
+    pattern = parse_pattern(text)
+    expected = sorted(NaiveMatcher(g).match_set(pattern))
+    assert TwigStack(g).match(pattern) == expected

@@ -1,0 +1,119 @@
+"""Tests for the Figure 4 workload factory and the experiment runner."""
+
+import pytest
+
+from repro import GraphEngine
+from repro.baselines.igmj import IGMJEngine
+from repro.baselines.twigstackd import TwigStackD
+from repro.graph import xmark
+from repro.graph.generators import random_dag
+from repro.workloads.patterns import (
+    PATH_3,
+    PATH_5,
+    TREE_3,
+    PatternFactory,
+)
+from repro.workloads.runner import (
+    ExperimentRecord,
+    check_agreement,
+    format_records,
+    run_igmj,
+    run_rjoin,
+    run_tsd,
+)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    data = xmark.generate(factor=0.1, entity_budget=800, seed=7)
+    return GraphEngine(data.graph)
+
+
+@pytest.fixture(scope="module")
+def factory(engine):
+    return PatternFactory(engine.db.catalog, seed=11)
+
+
+class TestPatternFactory:
+    def test_paths_have_right_shapes(self, factory):
+        paths = factory.figure4_paths()
+        assert set(paths) == {f"P{i}" for i in range(1, 10)}
+        assert all(p.is_path() for p in paths.values())
+        assert [p.node_count for p in paths.values()] == [3, 3, 3, 4, 4, 4, 5, 5, 5]
+
+    def test_trees_have_right_shapes(self, factory):
+        trees = factory.figure4_trees()
+        assert set(trees) == {f"T{i}" for i in range(1, 10)}
+        assert all(t.is_tree() for t in trees.values())
+        assert [t.node_count for t in trees.values()] == [3, 3, 3, 4, 4, 4, 5, 5, 5]
+
+    def test_queries_sizes(self, factory):
+        for size in (4, 5):
+            queries = factory.figure4_queries(size)
+            assert set(queries) == {f"Q{i}" for i in range(1, 6)}
+            assert all(q.node_count == size for q in queries.values())
+        with pytest.raises(ValueError):
+            factory.figure4_queries(6)
+
+    def test_patterns_are_satisfiable_by_estimate(self, engine, factory):
+        catalog = engine.db.catalog
+        for pattern in factory.figure4_paths().values():
+            for condition in pattern.conditions:
+                x_label, y_label = pattern.condition_labels(condition)
+                assert catalog.join_size(x_label, y_label) > 0
+
+    def test_edge_estimates_respect_cap(self, engine):
+        factory = PatternFactory(engine.db.catalog, seed=3, max_edge_estimate=10_000)
+        for pattern in factory.figure4_trees().values():
+            estimates = [
+                engine.db.catalog.join_size(*pattern.condition_labels(c))
+                for c in pattern.conditions
+            ]
+            assert max(estimates) <= 10_000
+
+    def test_deterministic_per_seed(self, engine):
+        a = PatternFactory(engine.db.catalog, seed=5).figure4_paths()
+        b = PatternFactory(engine.db.catalog, seed=5).figure4_paths()
+        assert {k: str(v) for k, v in a.items()} == {k: str(v) for k, v in b.items()}
+
+    def test_scalability_patterns(self, factory):
+        pats = factory.scalability_patterns()
+        assert pats["fig4a-path"].is_path()
+        assert pats["fig4d-tree"].is_tree()
+        assert pats["fig4i-graph"].node_count == 5
+
+
+class TestRunner:
+    def test_run_rjoin_records(self, engine, factory):
+        pattern = factory.instantiate(PATH_3)
+        record = run_rjoin(engine, "P", pattern, "dps")
+        assert record.engine == "DPS"
+        assert record.elapsed_seconds > 0
+        assert record.result_rows >= 0
+
+    def test_cross_engine_agreement_on_dag(self):
+        g = random_dag(30, 0.1, seed=5)
+        engine = GraphEngine(g)
+        factory = PatternFactory(engine.db.catalog, seed=2)
+        pattern = factory.instantiate(TREE_3)
+        records = [
+            run_rjoin(engine, "T", pattern, "dp"),
+            run_rjoin(engine, "T", pattern, "dps"),
+            run_tsd(TwigStackD(g), "T", pattern),
+            run_igmj(IGMJEngine(g), "T", pattern),
+        ]
+        assert check_agreement(records) == []
+
+    def test_check_agreement_flags_mismatch(self):
+        records = [
+            ExperimentRecord("A", "Q1", 0.1, 10),
+            ExperimentRecord("B", "Q1", 0.1, 11),
+        ]
+        problems = check_agreement(records)
+        assert len(problems) == 1
+        assert "Q1" in problems[0]
+
+    def test_format_records_renders_rows(self):
+        records = [ExperimentRecord("DPS", "Q1", 0.5, 42, 7, 70)]
+        text = format_records(records)
+        assert "Q1" in text and "DPS" in text and "42" in text

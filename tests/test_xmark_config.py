@@ -1,0 +1,63 @@
+"""Tests for XMark generator configuration knobs."""
+
+from repro.graph import xmark
+from repro.graph.traversal import is_dag
+
+
+class TestConfigKnobs:
+    def test_acyclic_mode(self):
+        """Disabling watches and catgraph edges yields a DAG — the
+        configuration the TSD benchmarks rely on."""
+        data = xmark.generate(
+            factor=0.3, entity_budget=800, seed=7,
+            watches_per_person=0.0, catgraph_edges_per_category=0.0,
+        )
+        assert is_dag(data.graph)
+
+    def test_no_bidders(self):
+        data = xmark.generate(
+            factor=0.2, entity_budget=600, seed=7, bidders_per_auction=0
+        )
+        assert data.graph.extent("bidder") == ()
+
+    def test_more_bidders_means_more_nodes(self):
+        small = xmark.generate(factor=0.3, entity_budget=800, seed=7,
+                               bidders_per_auction=0)
+        big = xmark.generate(factor=0.3, entity_budget=800, seed=7,
+                             bidders_per_auction=5)
+        assert big.graph.node_count > small.graph.node_count
+
+    def test_watch_density_scales_watch_extent(self):
+        low = xmark.generate(factor=0.3, entity_budget=800, seed=7,
+                             watches_per_person=0.1)
+        high = xmark.generate(factor=0.3, entity_budget=800, seed=7,
+                              watches_per_person=0.9)
+        assert len(high.graph.extent("watch")) > len(low.graph.extent("watch"))
+
+    def test_catgraph_density(self):
+        none = xmark.generate(factor=0.3, entity_budget=800, seed=7,
+                              catgraph_edges_per_category=0.0)
+        dense = xmark.generate(factor=0.3, entity_budget=800, seed=7,
+                               catgraph_edges_per_category=4.0)
+        def category_out(data):
+            return sum(
+                1 for u, v in data.graph.edges()
+                if data.graph.label(u) == "category"
+                and data.graph.label(v) == "category"
+            )
+        assert category_out(none) == 0
+        assert category_out(dense) > 0
+
+    def test_entity_lists_are_consistent(self):
+        data = xmark.generate(factor=0.2, entity_budget=700, seed=5)
+        g = data.graph
+        assert all(g.label(v) == "item" for v in data.items)
+        assert all(g.label(v) == "person" for v in data.persons)
+        assert all(g.label(v) == "open_auction" for v in data.open_auctions)
+        assert all(g.label(v) == "closed_auction" for v in data.closed_auctions)
+        assert all(g.label(v) == "category" for v in data.categories)
+        assert set(data.items) == set(g.extent("item"))
+
+    def test_minimum_one_entity_each(self):
+        data = xmark.generate(factor=0.01, entity_budget=100, seed=1)
+        assert data.items and data.persons and data.categories
