@@ -1,0 +1,49 @@
+"""Static verification layer: plan checker, index auditor, project lint.
+
+Three passes over three layers, one diagnostic format:
+
+* :func:`check_plan` — verify a :class:`~repro.query.algebra.Plan`
+  statically (left-deep shape, binding order, exactly-once condition
+  coverage, Filter/Fetch ``Side`` consistency, catalog existence);
+* :func:`audit_database` — verify a built
+  :class:`~repro.db.database.GraphDatabase` (2-hop cover correctness,
+  W-table ↔ F/T-subcluster agreement, B+-tree structure);
+* :func:`run_lint` — project-specific AST rules over source files
+  (storage-layer bypasses from ``query/``, mutable defaults, enum
+  identity comparisons, bare excepts, unused imports).
+
+All passes return lists of :class:`Diagnostic`; :func:`has_errors` is the
+gate condition used by ``repro check`` and CI.
+"""
+
+from .diagnostics import (
+    Diagnostic,
+    Severity,
+    errors,
+    format_report,
+    has_errors,
+    warnings,
+)
+from .indexaudit import audit_database, check_bptree
+from .lint import lint_paths, lint_project, lint_source
+from .plancheck import PlanVerificationError, check_plan
+
+#: the conventional entry point for linting arbitrary paths
+run_lint = lint_paths
+
+__all__ = [
+    "Diagnostic",
+    "PlanVerificationError",
+    "Severity",
+    "audit_database",
+    "check_bptree",
+    "check_plan",
+    "errors",
+    "format_report",
+    "has_errors",
+    "lint_paths",
+    "lint_project",
+    "lint_source",
+    "run_lint",
+    "warnings",
+]

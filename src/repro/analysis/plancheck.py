@@ -1,0 +1,340 @@
+"""plancheck — deep static verification of query plans (no execution).
+
+:class:`~repro.query.algebra.Plan` already has a ``validate()`` that raises
+on the first malformed step; this pass is the thorough counterpart the
+optimizer refactors lean on: it simulates the binding state of the whole
+left-deep pipeline, reports *every* violation as a structured
+:class:`~repro.analysis.diagnostics.Diagnostic`, and — when given the
+database the plan will run against — cross-checks the catalog: every
+referenced label must have a base table and every R-join's ``W(X, Y)``
+entry is probed (an empty entry is a warning: the plan is sound but its
+result is provably empty).
+
+Checked invariants (paper Alg. 2 / Section 4):
+
+* left-deep shape — exactly one seed step, at position 0;
+* variables bound before use (filter scans, selection endpoints);
+* every pattern condition covered exactly once, by a SeedJoin, a
+  Filter+Fetch pair, or a Selection — nothing double-evaluated, nothing
+  dropped;
+* ``Side`` consistency — each FetchStep consumes a pending filter with the
+  *same* (condition, side) key; a filter on the mirror side is reported as
+  a side mismatch, not a missing filter;
+* no variable re-binding — a Fetch whose target column already exists
+  would collide in the temporal table's schema;
+* catalog existence of every referenced label table and W-table entry
+  (only when a database is supplied).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, TYPE_CHECKING
+
+from ..query.algebra import (
+    FetchStep,
+    FilterKey,
+    FilterStep,
+    Plan,
+    SeedJoin,
+    SeedScan,
+    SelectionStep,
+    Side,
+)
+from ..query.pattern import Condition
+from .diagnostics import Diagnostic, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..db.database import GraphDatabase
+
+
+class PlanVerificationError(RuntimeError):
+    """Raised by ``verify=True`` execution when plancheck finds errors.
+
+    Carries the full diagnostic list so callers can render or log every
+    violation, not just the first.
+    """
+
+    def __init__(self, diagnostics: List[Diagnostic]) -> None:
+        from .diagnostics import format_report
+
+        self.diagnostics = diagnostics
+        super().__init__(
+            "plan failed static verification:\n" + format_report(diagnostics)
+        )
+
+
+def _other(side: Side) -> Side:
+    return Side.IN if side is Side.OUT else Side.OUT
+
+
+class _PlanChecker:
+    """Single-pass binding simulation that accumulates diagnostics."""
+
+    def __init__(self, plan: Plan, db: Optional["GraphDatabase"], source: str):
+        self.plan = plan
+        self.pattern = plan.pattern
+        self.db = db
+        self.source = source
+        self.diagnostics: List[Diagnostic] = []
+        self.bound: Set[str] = set()
+        self.pending: Set[FilterKey] = set()
+        self.done: Set[Condition] = set()
+        # conditions the plan references (for the coverage-count report)
+        self.known_conditions = set(self.pattern.conditions)
+
+    # ------------------------------------------------------------------
+    def report(
+        self,
+        rule: str,
+        message: str,
+        step: Optional[int] = None,
+        severity: Severity = Severity.ERROR,
+    ) -> None:
+        self.diagnostics.append(
+            Diagnostic(
+                rule=rule,
+                severity=severity,
+                message=message,
+                source=self.source,
+                step=step,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def _check_condition_known(self, condition: Condition, step: int) -> None:
+        if condition not in self.known_conditions:
+            self.report(
+                "plan/foreign-condition",
+                f"condition {condition} is not part of the pattern "
+                f"({', '.join(map(str, self.pattern.conditions))})",
+                step,
+            )
+
+    def _mark_done(self, condition: Condition, step: int) -> None:
+        if condition in self.done:
+            self.report(
+                "plan/double-covered",
+                f"condition {condition} is evaluated more than once",
+                step,
+            )
+        self.done.add(condition)
+
+    def _check_wtable(self, condition: Condition, step: int) -> None:
+        """With a database: warn when the R-join's W(X, Y) entry is empty."""
+        if self.db is None:
+            return
+        x_label, y_label = self.pattern.condition_labels(condition)
+        if x_label not in self.db.base_tables or y_label not in self.db.base_tables:
+            return  # unknown-label error already reported in the preamble
+        if not self.db.join_index.centers(x_label, y_label):
+            self.report(
+                "plan/empty-wtable-entry",
+                f"W({x_label}, {y_label}) has no centers: the R-join for "
+                f"{condition} is provably empty",
+                step,
+                severity=Severity.WARNING,
+            )
+
+    # ------------------------------------------------------------------
+    # per-step handlers
+    # ------------------------------------------------------------------
+    def _seed(self, step_obj, step: int) -> None:
+        if isinstance(step_obj, SeedScan):
+            self.bound.add(step_obj.var)
+            if step_obj.var not in self.pattern.variables:
+                self.report(
+                    "plan/foreign-condition",
+                    f"seed scans unknown variable {step_obj.var!r}",
+                    step,
+                )
+        else:  # SeedJoin
+            condition = step_obj.condition
+            self._check_condition_known(condition, step)
+            self.bound.update(condition)
+            self._mark_done(condition, step)
+            self._check_wtable(condition, step)
+
+    def _filter(self, step_obj: FilterStep, step: int) -> None:
+        scanned = {side.scanned_var(cond) for cond, side in step_obj.keys}
+        if len(scanned) != 1:
+            # unreachable through the public constructor (its __post_init__
+            # rejects mixed scans) but checkable on hand-forged plans
+            self.report(
+                "plan/mixed-filter",
+                f"shared filter scans several variables {sorted(scanned)}; "
+                "Remark 3.1 allows one scanned column per shared Filter",
+                step,
+            )
+        for var in scanned:
+            if var not in self.bound:
+                self.report(
+                    "plan/unbound-variable",
+                    f"filter scans variable {var!r} before any step binds it",
+                    step,
+                )
+        for key in step_obj.keys:
+            condition, side = key
+            self._check_condition_known(condition, step)
+            if key in self.pending or (condition, _other(side)) in self.pending:
+                self.report(
+                    "plan/double-covered",
+                    f"condition {condition} is filtered twice",
+                    step,
+                )
+            elif condition in self.done:
+                self.report(
+                    "plan/double-covered",
+                    f"condition {condition} is filtered after being evaluated",
+                    step,
+                )
+            if side.fetched_var(condition) in self.bound:
+                self.report(
+                    "plan/rebind",
+                    f"filter for {condition} [{side.value}] targets variable "
+                    f"{side.fetched_var(condition)!r} which is already bound; "
+                    "use a SelectionStep for conditions between bound variables",
+                    step,
+                )
+            self.pending.add(key)
+            self._check_wtable(condition, step)
+
+    def _fetch(self, step_obj: FetchStep, step: int) -> None:
+        key: FilterKey = (step_obj.condition, step_obj.side)
+        mirror: FilterKey = (step_obj.condition, _other(step_obj.side))
+        self._check_condition_known(step_obj.condition, step)
+        if key in self.pending:
+            self.pending.discard(key)
+        elif mirror in self.pending:
+            self.report(
+                "plan/side-mismatch",
+                f"fetch for {step_obj.condition} uses side "
+                f"{step_obj.side.value!r} but its filter ran with side "
+                f"{_other(step_obj.side).value!r}",
+                step,
+            )
+            self.pending.discard(mirror)
+        else:
+            self.report(
+                "plan/fetch-without-filter",
+                f"fetch for {step_obj.condition} [{step_obj.side.value}] has "
+                "no pending filter (HPSJ+ requires Filter before Fetch)",
+                step,
+            )
+        new_var = step_obj.side.fetched_var(step_obj.condition)
+        if new_var in self.bound:
+            self.report(
+                "plan/rebind",
+                f"fetch for {step_obj.condition} re-binds variable "
+                f"{new_var!r}; the temporal table would get a duplicate column",
+                step,
+            )
+        self.bound.add(new_var)
+        self._mark_done(step_obj.condition, step)
+
+    def _selection(self, step_obj: SelectionStep, step: int) -> None:
+        condition = step_obj.condition
+        self._check_condition_known(condition, step)
+        for var in condition:
+            if var not in self.bound:
+                self.report(
+                    "plan/unbound-variable",
+                    f"selection on {condition} reads variable {var!r} "
+                    "before any step binds it",
+                    step,
+                )
+        if condition in {cond for cond, _ in self.pending}:
+            self.report(
+                "plan/double-covered",
+                f"selection on {condition} duplicates its pending filter "
+                "(the matching fetch will evaluate it)",
+                step,
+            )
+        self._mark_done(condition, step)
+
+    # ------------------------------------------------------------------
+    def run(self) -> List[Diagnostic]:
+        if self.db is not None:
+            known = set(self.db.base_tables)
+            for var in self.pattern.variables:
+                label = self.pattern.label(var)
+                if label not in known:
+                    self.report(
+                        "plan/unknown-label",
+                        f"variable {var!r} uses label {label!r} which has no "
+                        f"base table (known: {sorted(known)})",
+                    )
+        steps = self.plan.steps
+        if not steps:
+            self.report("plan/empty", "plan has no steps")
+            return self.diagnostics
+        for index, step_obj in enumerate(steps):
+            if isinstance(step_obj, (SeedScan, SeedJoin)):
+                if index == 0:
+                    self._seed(step_obj, index)
+                else:
+                    self.report(
+                        "plan/not-left-deep",
+                        f"seed step {step_obj} at position {index}; a "
+                        "left-deep plan has exactly one seed, at position 0",
+                        index,
+                    )
+            elif index == 0:
+                self.report(
+                    "plan/no-seed",
+                    f"plan starts with {type(step_obj).__name__}; the first "
+                    "step must seed the temporal table (SeedScan or SeedJoin)",
+                    index,
+                )
+                # keep simulating so later steps still get precise checks
+                self._dispatch(step_obj, index)
+            else:
+                self._dispatch(step_obj, index)
+
+        for condition in self.pattern.conditions:
+            if condition not in self.done:
+                self.report(
+                    "plan/uncovered-condition",
+                    f"condition {condition} is never evaluated",
+                )
+        for var in self.pattern.variables:
+            if var not in self.bound:
+                self.report(
+                    "plan/never-bound",
+                    f"variable {var!r} is never bound by any step",
+                )
+        for key in sorted(self.pending, key=str):
+            condition, side = key
+            self.report(
+                "plan/unfetched-filter",
+                f"filter for {condition} [{side.value}] is never fetched; "
+                "its centers column would survive to the final table",
+            )
+        return self.diagnostics
+
+    def _dispatch(self, step_obj, index: int) -> None:
+        if isinstance(step_obj, FilterStep):
+            self._filter(step_obj, index)
+        elif isinstance(step_obj, FetchStep):
+            self._fetch(step_obj, index)
+        elif isinstance(step_obj, SelectionStep):
+            self._selection(step_obj, index)
+        else:
+            self.report(
+                "plan/unknown-step",
+                f"unrecognized plan step {step_obj!r}",
+                index,
+            )
+
+
+def check_plan(
+    plan: Plan,
+    db: Optional["GraphDatabase"] = None,
+    source: str = "plan",
+) -> List[Diagnostic]:
+    """Statically verify *plan*; returns every violation found.
+
+    With ``db`` supplied the catalog checks run too (label tables exist,
+    W-table entries are non-empty).  An empty return means the plan passes
+    every structural invariant this pass knows about.
+    """
+    return _PlanChecker(plan, db, source).run()

@@ -23,14 +23,14 @@ from __future__ import annotations
 
 import heapq
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..graph.digraph import DiGraph
 from ..labeling.interval import MultiIntervalCode, build_multi_interval
 from ..query.pattern import Condition, GraphPattern, PatternError
 from ..storage.buffer import DEFAULT_BUFFER_BYTES, BufferPool
-from ..storage.extsort import SortStats, external_sort
+from ..storage.extsort import external_sort
 from ..storage.heapfile import HeapFile
 from ..storage.pages import DiskManager
 from ..storage.stats import IOStats

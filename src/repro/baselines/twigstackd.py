@@ -28,8 +28,8 @@ comparing against it (Figure 5 uses path and tree patterns on a DAG).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from ..graph.digraph import DiGraph
 from ..graph.traversal import is_dag

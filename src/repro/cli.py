@@ -145,6 +145,64 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .analysis import (
+        audit_database,
+        check_plan,
+        errors,
+        format_report,
+        has_errors,
+        lint_project,
+    )
+
+    if args.patterns and args.database is None:
+        print("--pattern requires a database to plan against", file=sys.stderr)
+        return 2
+    if args.database is None and not args.self_lint:
+        print("nothing to check: give a database and/or --self", file=sys.stderr)
+        return 2
+
+    all_diags = []
+
+    def section(title: str, diagnostics) -> None:
+        all_diags.extend(diagnostics)
+        print(f"== {title} ==")
+        print(format_report(diagnostics) if diagnostics else "ok")
+
+    if args.database is not None:
+        engine = GraphEngine.from_database(load_database(args.database))
+        section(
+            f"indexaudit {args.database}",
+            audit_database(
+                engine.db,
+                exact_threshold=args.exact_threshold,
+                sample_rows=args.sample_rows,
+                seed=args.seed,
+            ),
+        )
+        optimizers = (
+            ("dp", "dps") if args.optimizer == "all" else (args.optimizer,)
+        )
+        for text in args.patterns or ():
+            for optimizer in optimizers:
+                plan = engine.plan(text, optimizer=optimizer).plan
+                section(
+                    f"plancheck [{optimizer}] {text!r}",
+                    check_plan(
+                        plan, db=engine.db, source=f"plan[{optimizer}]"
+                    ),
+                )
+    if args.self_lint:
+        section("lint src/repro", lint_project())
+
+    failed = has_errors(all_diags)
+    error_count = len(errors(all_diags))
+    warning_count = len(all_diags) - error_count
+    print(f"-- {error_count} error(s), {warning_count} warning(s)",
+          file=sys.stderr)
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -186,6 +244,29 @@ def build_parser() -> argparse.ArgumentParser:
                          help="rows to print without --all (default 20)")
     p_query.add_argument("--all", action="store_true", help="print every row")
     p_query.set_defaults(func=_cmd_query)
+
+    p_check = sub.add_parser(
+        "check",
+        help="static verification: index audit, plan checks, project lint",
+    )
+    p_check.add_argument("database", nargs="?",
+                         help="saved database to audit (cover, W-table, B+-trees)")
+    p_check.add_argument("--pattern", dest="patterns", action="append",
+                         metavar="PATTERN",
+                         help="also plancheck the optimizers' plans for this "
+                              "pattern (repeatable)")
+    p_check.add_argument("--optimizer", choices=("dp", "dps", "greedy", "all"),
+                         default="all",
+                         help="which optimizer(s) to plancheck (default: dp+dps)")
+    p_check.add_argument("--self", dest="self_lint", action="store_true",
+                         help="lint the repro package's own source")
+    p_check.add_argument("--exact-threshold", type=int, default=300,
+                         help="max nodes for the exact cover check (default 300)")
+    p_check.add_argument("--sample-rows", type=int, default=32,
+                         help="sampled reachability rows above the threshold")
+    p_check.add_argument("--seed", type=int, default=0,
+                         help="sampling seed for large-graph audits")
+    p_check.set_defaults(func=_cmd_check)
 
     p_bench = sub.add_parser("bench", help="mini 4-engine comparison run")
     p_bench.add_argument("--budget", type=int, default=800)

@@ -89,6 +89,32 @@ class ClusterRJoinIndex:
         return leaf[1].get(label, _EMPTY)
 
     # ------------------------------------------------------------------
+    # inspection API (used by repro.analysis.indexaudit and the tests)
+    # ------------------------------------------------------------------
+    @property
+    def index_tree(self) -> BPlusTree:
+        """The cluster B+-tree itself, for structural audits."""
+        return self._tree
+
+    @property
+    def wtable_tree(self) -> BPlusTree:
+        """The W-table B+-tree itself, for structural audits."""
+        return self._wtable
+
+    def cluster_items(self):
+        """Yield ``(center, f_subclusters, t_subclusters)`` leaf entries.
+
+        Subclusters are ``{label: (node, ...)}`` dicts exactly as stored;
+        iteration is in center order (a leaf-chain scan, charged I/O).
+        """
+        for center, (f_sub, t_sub) in self._tree.items():
+            yield center, f_sub, t_sub
+
+    def wtable_items(self):
+        """Yield ``((X, Y), centers)`` W-table entries in key order."""
+        return self._wtable.items()
+
+    # ------------------------------------------------------------------
     @property
     def center_count(self) -> int:
         return self._center_count

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Optional
 
 from ..graph.digraph import DiGraph
 from ..labeling.twohop import TwoHopLabeling

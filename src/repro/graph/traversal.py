@@ -9,7 +9,7 @@ property-tested for agreement with plain BFS reachability computed here.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, Iterator, List, Optional, Set
+from typing import Iterable, Iterator, List, Optional, Set
 
 from .digraph import DiGraph, GraphError
 

@@ -26,7 +26,7 @@ substrate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from ..graph.condensation import Condensation, condense
 from ..graph.digraph import DiGraph

@@ -24,7 +24,7 @@ DAG, the more remaining edges, the bigger (and hotter) this structure.
 from __future__ import annotations
 
 import bisect
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from ..graph.digraph import DiGraph
 from .interval import TreeIntervalCode, build_tree_intervals

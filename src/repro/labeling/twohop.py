@@ -32,7 +32,7 @@ an oracle on small graphs, but costs O(n^2) space.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
 
 from ..graph.condensation import condense

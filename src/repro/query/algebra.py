@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from ..storage.buffer import BufferPool
 from ..storage.table import Table
@@ -154,18 +154,43 @@ class Plan:
                         f"filter scans unbound variable {step.scanned_var!r}"
                     )
                 for key in step.keys:
-                    if key in pending or key[0] in done:
+                    condition, side = key
+                    mirror = (condition, Side.IN if side is Side.OUT else Side.OUT)
+                    if key in pending or mirror in pending or condition in done:
                         raise PatternError(f"duplicate filter for {key}")
+                    if side.fetched_var(condition) in bound:
+                        raise PatternError(
+                            f"filter for {key} targets already-bound variable "
+                            f"{side.fetched_var(condition)!r}; use a "
+                            "SelectionStep between two bound variables"
+                        )
                     pending.add(key)
             elif isinstance(step, FetchStep):
                 key = (step.condition, step.side)
                 if key not in pending:
+                    mirror = (
+                        step.condition,
+                        Side.IN if step.side is Side.OUT else Side.OUT,
+                    )
+                    if mirror in pending:
+                        raise PatternError(
+                            f"fetch for {step.condition} uses side "
+                            f"{step.side.value!r} but its filter ran with "
+                            f"side {mirror[1].value!r}"
+                        )
                     raise PatternError(
                         f"fetch for {key} has no preceding filter (HPSJ+ requires "
                         "Filter before Fetch)"
                     )
+                fetched = step.side.fetched_var(step.condition)
+                if fetched in bound:
+                    raise PatternError(
+                        f"fetch for {step.condition} re-binds variable "
+                        f"{fetched!r}; the temporal table would get a "
+                        "duplicate column"
+                    )
                 pending.discard(key)
-                bound.add(step.side.fetched_var(step.condition))
+                bound.add(fetched)
                 done.add(step.condition)
             elif isinstance(step, SelectionStep):
                 src, dst = step.condition

@@ -123,6 +123,7 @@ class GraphEngine:
         optimizer: str = "dps",
         reset_counters: bool = True,
         row_limit: Optional[int] = None,
+        verify: bool = False,
     ) -> QueryResult:
         """Optimize and execute a pattern; returns matches + metrics.
 
@@ -130,11 +131,16 @@ class GraphEngine:
         cache before running (per-query accounting, as the paper measures
         query by query).  ``row_limit`` caps every intermediate result and
         raises :class:`~repro.query.algebra.RowLimitExceeded` beyond it.
+        ``verify`` statically checks the optimized plan against this
+        database (:func:`repro.analysis.check_plan`) before executing and
+        raises :class:`repro.analysis.PlanVerificationError` on violations.
         """
         optimized = self.plan(pattern, optimizer=optimizer)
         if reset_counters:
             self.db.reset_counters()
-        return execute_plan(self.db, optimized.plan, row_limit=row_limit)
+        return execute_plan(
+            self.db, optimized.plan, row_limit=row_limit, verify=verify
+        )
 
     def match_iter(
         self,

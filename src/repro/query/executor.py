@@ -33,7 +33,6 @@ from .operators import (
     hpsj,
     seed_scan,
 )
-from .pattern import GraphPattern
 
 
 @dataclass
@@ -72,7 +71,10 @@ class QueryResult:
 
 
 def execute_plan(
-    db: GraphDatabase, plan: Plan, row_limit: Optional[int] = None
+    db: GraphDatabase,
+    plan: Plan,
+    row_limit: Optional[int] = None,
+    verify: bool = False,
 ) -> QueryResult:
     """Run *plan* and project the pattern's variables.
 
@@ -80,7 +82,22 @@ def execute_plan(
     raises :class:`repro.query.algebra.RowLimitExceeded` (an execution
     guard for runaway patterns, not a LIMIT clause — no partial results
     are returned).
+
+    ``verify=True`` runs the full static plan checker
+    (:func:`repro.analysis.check_plan`, including the catalog checks
+    against *db*) before interpretation and raises
+    :class:`repro.analysis.PlanVerificationError` listing every violation
+    — the belt-and-braces mode for exercising new optimizers.
     """
+    if verify:
+        # imported lazily: the analysis layer depends on the query layer,
+        # not the other way around
+        from ..analysis.diagnostics import errors
+        from ..analysis.plancheck import PlanVerificationError, check_plan
+
+        found = errors(check_plan(plan, db=db))
+        if found:
+            raise PlanVerificationError(found)
     plan.validate()
     pattern = plan.pattern
     metrics = RunMetrics()

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Tuple
 
 from .algebra import FetchStep, FilterStep, Plan, PlanStep, SeedJoin, SeedScan, Side
 from .algebra import SelectionStep

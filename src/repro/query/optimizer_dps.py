@@ -31,7 +31,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import FrozenSet, List, Set, Tuple
 
 from .algebra import (
     FetchStep,
@@ -95,8 +95,18 @@ def _applicable_filters(
 
 
 def optimize_dps(pattern: GraphPattern, model: CostModel) -> OptimizedPlan:
-    """Minimum-estimated-cost plan interleaving R-joins and R-semijoins."""
+    """Minimum-estimated-cost plan interleaving R-joins and R-semijoins.
+
+    Invariant: every plan this function returns has passed
+    :meth:`Plan.validate` — the single-variable case delegates to
+    :func:`optimize_dp` (which validates at each of its returns) and the
+    search's only exit validates before returning; there is no other way
+    out besides the exhaustion ``RuntimeError``.  ``tests/test_plancheck``
+    additionally runs the deep static checker over every DP/DPS plan of
+    the workload suite.
+    """
     if pattern.node_count == 1:
+        # delegated plans are validated inside optimize_dp
         return optimize_dp(pattern, model)
 
     all_conditions = frozenset(pattern.conditions)
@@ -160,6 +170,8 @@ def optimize_dps(pattern: GraphPattern, model: CostModel) -> OptimizedPlan:
             continue
         settled.add(node.status)
         if done == all_conditions and not pending:
+            # the search's only success exit: validate before emitting, so
+            # every plan leaving this optimizer is structurally sound
             plan = Plan(pattern, node.steps)
             plan.validate()
             return OptimizedPlan(plan, node.cost, node.rows)

@@ -16,7 +16,7 @@ those; values are arbitrary records.
 from __future__ import annotations
 
 import bisect
-from typing import Any, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Iterable, Iterator, List, Tuple
 
 from .buffer import BufferPool
 

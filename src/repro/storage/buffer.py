@@ -14,7 +14,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Optional
 
-from .pages import DEFAULT_PAGE_SIZE, DiskManager, Page
+from .pages import DiskManager, Page
 from .stats import IOStats
 
 DEFAULT_BUFFER_BYTES = 1 << 20  # 1 MiB, as in the paper's test setup

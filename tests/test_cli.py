@@ -57,7 +57,7 @@ class TestCommands:
     def test_query_head_truncation(self, db_path, capsys):
         assert main(["query", db_path, "itemref -> item", "--head", "1"]) == 0
         captured = capsys.readouterr()
-        body_lines = [l for l in captured.out.splitlines() if "\t" in l]
+        body_lines = [line for line in captured.out.splitlines() if "\t" in line]
         assert len(body_lines) <= 2  # header + 1 row
 
     def test_query_all_prints_everything(self, db_path, capsys):
@@ -69,7 +69,7 @@ class TestCommands:
         assert main(["query", db_path, "itemref -> item", "--limit", "2"]) == 0
         captured = capsys.readouterr()
         assert "streamed" in captured.err
-        assert len([l for l in captured.out.splitlines() if l.strip()]) == 2
+        assert len([line for line in captured.out.splitlines() if line.strip()]) == 2
 
     def test_query_explain(self, db_path, capsys):
         assert main(["query", db_path, "itemref -> item", "--explain"]) == 0
@@ -90,3 +90,51 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "storage footprint" in out
         assert "__disk__" in out
+
+
+class TestCheck:
+    def test_no_target_is_usage_error(self, capsys):
+        assert main(["check"]) == 2
+        assert "nothing to check" in capsys.readouterr().err
+
+    def test_pattern_without_database_is_usage_error(self, capsys):
+        assert main(["check", "--pattern", "A -> B"]) == 2
+        assert "requires a database" in capsys.readouterr().err
+
+    def test_clean_database_passes(self, db_path, capsys):
+        rc = main([
+            "check", db_path,
+            "--pattern", "person -> watch",
+            "--pattern", "itemref -> item",
+            "--self",
+        ])
+        captured = capsys.readouterr()
+        assert rc == 0, captured.out + captured.err
+        assert "== indexaudit" in captured.out
+        assert "== plancheck [dp] 'person -> watch' ==" in captured.out
+        assert "== plancheck [dps] 'person -> watch' ==" in captured.out
+        assert "== lint src/repro ==" in captured.out
+        assert "0 error(s)" in captured.err
+
+    def test_self_lint_alone_passes(self, capsys):
+        assert main(["check", "--self"]) == 0
+        assert "== lint src/repro ==" in capsys.readouterr().out
+
+    def test_corrupted_database_fails(self, db_path, tmp_path, capsys):
+        from repro.db.database import GraphDatabase
+        from repro.db.persist import load_database, save_database
+        from repro.labeling.twohop import build_two_hop
+
+        graph = load_database(db_path).graph
+        labeling = build_two_hop(graph)
+        u, v = next(iter(graph.edges()))
+        labeling.out_codes[u] = frozenset({u})
+        labeling.in_codes[v] = frozenset({v})
+        bad_path = tmp_path / "corrupt.db.json"
+        save_database(GraphDatabase(graph, labeling=labeling), str(bad_path))
+
+        rc = main(["check", str(bad_path)])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "index/cover-missing" in captured.out
+        assert "0 error(s)" not in captured.err
