@@ -162,6 +162,35 @@ def test_ablation_executor_mode(benchmark, cached_engine, tree_pattern, mode):
     print(f"\n[Ablation executor] {mode}: rows={rows}")
 
 
+def test_drivers_agree_smoke():
+    """CI smoke (no benchmark fixture): both drivers, one tiny graph.
+
+    Runs in well under a second on the Figure 1 graph and fails fast if
+    the materializing and streaming drivers ever drift apart — the
+    invariant the shared physical-operator layer exists to guarantee.
+    """
+    from repro.graph.generators import figure1_graph
+    from repro.query.executor import execute_plan
+    from repro.query.pipeline import execute_plan_streaming
+
+    engine = GraphEngine(figure1_graph())
+    pattern = "A -> C, B -> C, C -> D, D -> E"
+    for optimizer in ("dp", "dps", "greedy"):
+        optimized = engine.plan(pattern, optimizer=optimizer)
+        materialized = execute_plan(engine.db, optimized.plan)
+        stream = execute_plan_streaming(engine.db, optimized.plan)
+        streamed = list(stream)
+        assert set(streamed) == materialized.as_set(), optimizer
+        assert len(streamed) == len(set(streamed)), optimizer
+        assert [
+            (op.operator, op.rows_in, op.rows_out)
+            for op in stream.metrics.operators
+        ] == [
+            (op.operator, op.rows_in, op.rows_out)
+            for op in materialized.metrics.operators
+        ], optimizer
+
+
 def test_ablation_limit_probe_cost(cached_engine, tree_pattern):
     """LIMIT-1 streamed probes must cost a small fraction of full runs."""
     db = cached_engine.db

@@ -9,6 +9,11 @@ encodes them directly and runs as part of ``repro check --self`` and CI:
   :class:`~repro.storage.buffer.BufferPool` and silently corrupts the I/O
   accounting every experiment depends on.  Query code goes through
   ``Table`` / ``TemporalTable`` / ``BPlusTree``.
+* ``lint/physical-internals`` — modules *outside* ``query/`` must not
+  import :mod:`repro.query.physical` (the operator classes, drivers and
+  execution context are the query layer's private machinery): callers go
+  through ``execute_plan`` / ``execute_plan_streaming`` /
+  ``GraphEngine``, which guarantee plan validation and uniform metrics.
 * ``lint/mutable-default`` — no mutable default arguments (list/dict/set
   literals, comprehensions, or ``list()``/``dict()``/``set()`` calls):
   the shared-instance trap.
@@ -60,6 +65,17 @@ def _module_tail(module: str) -> tuple:
     return tuple(module.split("."))[-2:]
 
 
+def _is_physical_internal(module: str) -> bool:
+    """True for any spelling of the ``repro.query.physical`` package.
+
+    Covers absolute (``repro.query.physical.drivers``) and relative
+    (``..query.physical``) dotted paths; ``from repro.query import
+    physical`` is handled separately at the alias level.
+    """
+    parts = module.split(".")
+    return "physical" in parts and "query" in parts
+
+
 class _LintVisitor(ast.NodeVisitor):
     def __init__(self, filename: str, source: str) -> None:
         self.filename = filename
@@ -93,6 +109,14 @@ class _LintVisitor(ast.NodeVisitor):
                     f"query-layer module imports {alias.name!r}; raw "
                     "page/heap access bypasses BufferPool I/O accounting",
                 )
+            if not self.in_query_layer and _is_physical_internal(alias.name):
+                self.report(
+                    "lint/physical-internals",
+                    node.lineno,
+                    f"module outside the query layer imports {alias.name!r}; "
+                    "go through execute_plan/execute_plan_streaming/"
+                    "GraphEngine instead of physical-operator internals",
+                )
             self.imports.append(
                 (alias.asname or alias.name.split(".")[0], node.lineno)
             )
@@ -109,6 +133,22 @@ class _LintVisitor(ast.NodeVisitor):
                 f"query-layer module imports from {module!r}; raw "
                 "page/heap access bypasses BufferPool I/O accounting",
             )
+        if not self.in_query_layer:
+            for alias in node.names:
+                # `from repro.query.physical[...] import X` or the
+                # package itself via `from repro.query import physical`
+                if _is_physical_internal(module) or (
+                    _module_tail(module)[-1:] == ("query",)
+                    and alias.name == "physical"
+                ):
+                    self.report(
+                        "lint/physical-internals",
+                        node.lineno,
+                        f"module outside the query layer imports "
+                        f"{alias.name!r} from {module!r}; go through "
+                        "execute_plan/execute_plan_streaming/GraphEngine "
+                        "instead of physical-operator internals",
+                    )
         for alias in node.names:
             if alias.name == "*":
                 continue

@@ -89,13 +89,17 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if args.limit is not None:
         count = 0
         for row in engine.match_iter(
-            args.pattern, optimizer=args.optimizer, limit=args.limit
+            args.pattern, optimizer=args.optimizer, limit=args.limit,
+            row_limit=args.row_limit, verify=args.verify,
         ):
             print("\t".join(str(v) for v in row))
             count += 1
         print(f"-- {count} row(s) (limit {args.limit}, streamed)", file=sys.stderr)
         return 0
-    result = engine.match(args.pattern, optimizer=args.optimizer)
+    result = engine.match(
+        args.pattern, optimizer=args.optimizer,
+        row_limit=args.row_limit, verify=args.verify,
+    )
     print("\t".join(result.columns))
     shown = result.rows if args.all else result.rows[:args.head]
     for row in shown:
@@ -240,6 +244,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print the plan instead of executing")
     p_query.add_argument("--limit", type=int, default=None,
                          help="stream at most N rows (pipelined execution)")
+    p_query.add_argument("--row-limit", type=int, default=None,
+                         help="abort if any intermediate exceeds N rows "
+                              "(execution guard, either executor)")
+    p_query.add_argument("--verify", action="store_true",
+                         help="statically check the optimized plan before "
+                              "executing (repro.analysis plan checker)")
     p_query.add_argument("--head", type=int, default=20,
                          help="rows to print without --all (default 20)")
     p_query.add_argument("--all", action="store_true", help="print every row")

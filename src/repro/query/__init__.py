@@ -13,8 +13,14 @@ from .algebra import (
 )
 from .costmodel import CostModel, CostParams
 from .engine import GraphEngine
-from .executor import QueryResult, RunMetrics, execute_plan
-from .pipeline import execute_plan_streaming
+from .physical import (
+    OperatorMetrics,
+    QueryResult,
+    RunMetrics,
+    StreamingResult,
+    execute_plan,
+    execute_plan_streaming,
+)
 from .optimizer_dp import OptimizedPlan, optimize_dp, optimize_greedy
 from .optimizer_dps import optimize_dps
 from .parser import parse_pattern
@@ -33,8 +39,10 @@ __all__ = [
     "CostModel",
     "CostParams",
     "GraphEngine",
+    "OperatorMetrics",
     "QueryResult",
     "RunMetrics",
+    "StreamingResult",
     "execute_plan",
     "execute_plan_streaming",
     "OptimizedPlan",

@@ -261,6 +261,29 @@ class TemporalTable:
         ]
         self.table = Table(pool, name=name, columns=columns)
 
+    @classmethod
+    def from_layout(
+        cls,
+        pool: BufferPool,
+        layout,
+        name: str = "temp",
+        row_limit: int | None = None,
+    ) -> "TemporalTable":
+        """Build a table whose schema matches a physical operator's output.
+
+        *layout* is any object with ``variables`` and ``pending`` (the
+        :class:`repro.query.physical.RowLayout` the operator computed);
+        the materializing driver uses this to turn each operator's output
+        stream into a stored intermediate.
+        """
+        return cls(
+            pool,
+            variables=layout.variables,
+            pending=layout.pending,
+            name=name,
+            row_limit=row_limit,
+        )
+
     # ------------------------------------------------------------------
     def var_position(self, var: str) -> int:
         try:

@@ -18,15 +18,20 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Union
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple, Union
 
 from ..db.database import GraphDatabase
 from ..graph.digraph import DiGraph
 from ..labeling.twohop import TwoHopLabeling
 from ..storage.buffer import DEFAULT_BUFFER_BYTES
 from .costmodel import CostModel, CostParams
-from .executor import QueryResult, execute_plan
-from .pipeline import execute_plan_streaming
+from .physical.drivers import (
+    QueryResult,
+    StreamingResult,
+    execute_plan,
+    execute_plan_streaming,
+)
 from .optimizer_dp import OptimizedPlan, optimize_dp, optimize_greedy
 from .optimizer_dps import optimize_dps
 from .parser import parse_pattern
@@ -94,7 +99,7 @@ class GraphEngine:
     PLAN_CACHE_SIZE = 256
 
     def plan(self, pattern: PatternLike, optimizer: str = "dps") -> OptimizedPlan:
-        """Optimize a pattern without executing it (memoized)."""
+        """Optimize a pattern without executing it (memoized, LRU)."""
         parsed = self._coerce(pattern)
         self._check_labels(parsed)
         try:
@@ -103,17 +108,20 @@ class GraphEngine:
             raise ValueError(
                 f"unknown optimizer {optimizer!r}; choose from {sorted(_OPTIMIZERS)}"
             ) from None
+        cache: Optional[OrderedDict[Tuple[str, str], OptimizedPlan]]
         cache = getattr(self, "_plan_cache", None)
-        if cache is None:
-            cache = self._plan_cache = {}
+        if not isinstance(cache, OrderedDict):
+            # tolerate a plain dict planted by tests/older callers
+            cache = self._plan_cache = OrderedDict(cache or {})
         key = (str(parsed), optimizer)
         cached = cache.get(key)
         if cached is not None:
+            cache.move_to_end(key)  # LRU: a hit makes the entry youngest
             return cached
         model = CostModel(self.db.catalog, parsed, self.cost_params)
         optimized = optimize(parsed, model)
-        if len(cache) >= self.PLAN_CACHE_SIZE:
-            cache.clear()  # simple wholesale reset; plans are cheap to redo
+        while len(cache) >= self.PLAN_CACHE_SIZE:
+            cache.popitem(last=False)  # evict the least recently used plan
         cache[key] = optimized
         return optimized
 
@@ -147,16 +155,24 @@ class GraphEngine:
         pattern: PatternLike,
         optimizer: str = "dps",
         limit: Optional[int] = None,
-    ):
+        row_limit: Optional[int] = None,
+        verify: bool = False,
+    ) -> StreamingResult:
         """Stream matches lazily through the pipelined executor.
 
         No temporal tables are materialized; with ``limit`` the upstream
         operators stop as soon as enough rows exist — the cheap way to
         answer "give me a few examples" or EXISTS-style questions over
-        patterns whose full result would be huge.
+        patterns whose full result would be huge.  ``row_limit`` and
+        ``verify`` behave exactly as in :meth:`match`; the returned
+        :class:`~repro.query.StreamingResult` carries a ``metrics``
+        attribute with the same per-operator counters as a full run.
         """
         optimized = self.plan(pattern, optimizer=optimizer)
-        return execute_plan_streaming(self.db, optimized.plan, limit=limit)
+        return execute_plan_streaming(
+            self.db, optimized.plan, limit=limit, row_limit=row_limit,
+            verify=verify,
+        )
 
     def explain(self, pattern: PatternLike, optimizer: str = "dps") -> str:
         """The chosen plan as text, with its cost/cardinality estimates."""

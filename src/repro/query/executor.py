@@ -1,141 +1,14 @@
-"""Plan execution: interpret a left-deep plan against the database.
+"""Materializing plan execution (compatibility shim).
 
-The executor walks the plan's steps, threading the temporal table through
-the operators of :mod:`repro.query.operators`, and finally projects the
-pattern's variables in declaration order.  It reports a
-:class:`RunMetrics` with elapsed time, the I/O delta observed on the
-database's shared counters, per-operator metrics, and the peak temporal
-table size (the quantity whose growth separates DP from DPS at scale).
+The materializing driver — interpret a left-deep plan by draining each
+physical operator into a temporal table, then project the pattern's
+variables — lives in :mod:`repro.query.physical.drivers` next to its
+streaming twin.  This module preserves the historical import path
+(``repro.query.executor``) for :func:`execute_plan` and the result
+types; see the driver module for semantics (``row_limit`` guard,
+``verify=True`` static checking, :class:`RunMetrics` contents).
 """
 
-from __future__ import annotations
+from .physical.drivers import QueryResult, RunMetrics, execute_plan
 
-import time
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
-
-from ..db.database import GraphDatabase
-from ..storage.stats import IOStats
-from .algebra import (
-    FetchStep,
-    FilterStep,
-    Plan,
-    SeedJoin,
-    SeedScan,
-    SelectionStep,
-    TemporalTable,
-)
-from .operators import (
-    OperatorMetrics,
-    apply_fetch,
-    apply_filter,
-    apply_selection,
-    hpsj,
-    seed_scan,
-)
-
-
-@dataclass
-class RunMetrics:
-    """Everything measured while executing one plan."""
-
-    elapsed_seconds: float = 0.0
-    io: Optional[IOStats] = None
-    operators: List[OperatorMetrics] = field(default_factory=list)
-    peak_temporal_rows: int = 0
-    result_rows: int = 0
-
-    @property
-    def physical_io(self) -> int:
-        return self.io.total_io() if self.io else 0
-
-    @property
-    def logical_io(self) -> int:
-        return self.io.logical_reads if self.io else 0
-
-
-@dataclass
-class QueryResult:
-    """Final matches plus the plan and metrics that produced them."""
-
-    columns: Tuple[str, ...]
-    rows: List[Tuple[int, ...]]
-    plan: Plan
-    metrics: RunMetrics
-
-    def as_set(self) -> set:
-        return set(self.rows)
-
-    def __len__(self) -> int:
-        return len(self.rows)
-
-
-def execute_plan(
-    db: GraphDatabase,
-    plan: Plan,
-    row_limit: Optional[int] = None,
-    verify: bool = False,
-) -> QueryResult:
-    """Run *plan* and project the pattern's variables.
-
-    ``row_limit`` caps every intermediate temporal table; exceeding it
-    raises :class:`repro.query.algebra.RowLimitExceeded` (an execution
-    guard for runaway patterns, not a LIMIT clause — no partial results
-    are returned).
-
-    ``verify=True`` runs the full static plan checker
-    (:func:`repro.analysis.check_plan`, including the catalog checks
-    against *db*) before interpretation and raises
-    :class:`repro.analysis.PlanVerificationError` listing every violation
-    — the belt-and-braces mode for exercising new optimizers.
-    """
-    if verify:
-        # imported lazily: the analysis layer depends on the query layer,
-        # not the other way around
-        from ..analysis.diagnostics import errors
-        from ..analysis.plancheck import PlanVerificationError, check_plan
-
-        found = errors(check_plan(plan, db=db))
-        if found:
-            raise PlanVerificationError(found)
-    plan.validate()
-    pattern = plan.pattern
-    metrics = RunMetrics()
-    io_before = db.stats.snapshot()
-    started = time.perf_counter()
-
-    table: Optional[TemporalTable] = None
-    for step in plan.steps:
-        if isinstance(step, SeedScan):
-            table, op = seed_scan(db, pattern, step.var, row_limit=row_limit)
-        elif isinstance(step, SeedJoin):
-            table, op = hpsj(db, pattern, step.condition, row_limit=row_limit)
-        elif isinstance(step, FilterStep):
-            table, op = apply_filter(
-                db, pattern, table, step.keys, row_limit=row_limit
-            )
-        elif isinstance(step, FetchStep):
-            table, op = apply_fetch(
-                db, pattern, table, step.condition, step.side, row_limit=row_limit
-            )
-        elif isinstance(step, SelectionStep):
-            table, op = apply_selection(
-                db, pattern, table, step.condition, row_limit=row_limit
-            )
-        else:  # pragma: no cover - Plan.validate rejects unknown steps
-            raise TypeError(f"unknown plan step {step!r}")
-        metrics.operators.append(op)
-        metrics.peak_temporal_rows = max(metrics.peak_temporal_rows, table.row_count)
-
-    if table.pending:
-        raise RuntimeError(f"plan finished with unconsumed filters {table.pending}")
-
-    positions = [table.var_position(var) for var in pattern.variables]
-    rows = [tuple(row[p] for p in positions) for row in table.table.scan()]
-
-    metrics.elapsed_seconds = time.perf_counter() - started
-    metrics.io = db.stats.delta_since(io_before)
-    metrics.result_rows = len(rows)
-    return QueryResult(
-        columns=tuple(pattern.variables), rows=rows, plan=plan, metrics=metrics
-    )
+__all__ = ["QueryResult", "RunMetrics", "execute_plan"]

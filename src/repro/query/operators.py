@@ -1,164 +1,87 @@
-"""Physical operators: HPSJ, HPSJ+ Filter/Fetch, selections.
+"""Functional facade over the physical operators (compatibility shim).
 
-These implement the paper's Algorithms 1 and 2 against a
-:class:`~repro.db.database.GraphDatabase`:
-
-* :func:`hpsj` — Algorithm 1: R-join two *base* tables entirely from the
-  cluster-based R-join index (per center ``w ∈ W(X,Y)``, the Cartesian
-  product ``getF(w,X) × getT(w,Y)``, unioned).  "There is no need to
-  access base tables."
-* :func:`apply_filter` — the Filter procedure of Algorithm 2 = an
-  R-semijoin: for each temporal tuple, ``X_i = getCenters(x_i, X, Y)``
-  (Eq. 6); tuples with ``X_i = ∅`` are pruned, survivors carry their
-  center sets forward.  One scan can serve several conditions on the same
-  scanned variable (Remark 3.1).
-* :func:`apply_fetch` — the Fetch procedure: per surviving tuple and
-  center, Cartesian-product with the center's labeled T-subcluster (or
-  F-subcluster for the mirrored direction), deduplicating per tuple since
-  several centers can witness the same partner node.
-* :func:`apply_selection` — the self R-join (Eq. 5): test
-  ``out(x) ∩ in(y) ≠ ∅`` between two already-bound columns.
-
-Every operator returns an :class:`OperatorMetrics` alongside its output so
-the benchmarks can report per-step row counts and pruning rates.
+The operator *logic* — HPSJ, HPSJ+ Filter/Fetch, selections — lives in
+:mod:`repro.query.physical.operators` as Volcano-style classes shared by
+both drivers.  This module keeps the original one-shot functional API
+(used by the benchmarks and the operator-level tests): each function
+instantiates the matching physical operator, drains it into a
+:class:`~repro.query.algebra.TemporalTable`, and returns the table along
+with the operator's :class:`OperatorMetrics`.
 """
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from ..db.database import GraphDatabase
 from .algebra import FilterKey, Side, TemporalTable
 from .pattern import Condition, GraphPattern
+from .physical.context import ExecutionContext, OperatorMetrics, RowLayout, temp_name
+from .physical.operators import (
+    FetchOp,
+    PhysicalOperator,
+    SeedJoinOp,
+    SeedScanOp,
+    SelectionOp,
+    SharedFilterOp,
+)
 
-_name_counter = itertools.count()
-
-
-def _temp_name(tag: str) -> str:
-    return f"{tag}#{next(_name_counter)}"
-
-
-@dataclass
-class OperatorMetrics:
-    """Per-operator instrumentation."""
-
-    operator: str
-    rows_in: int = 0
-    rows_out: int = 0
-    centers_probed: int = 0
-    nodes_fetched: int = 0
-
-    @property
-    def pruned(self) -> int:
-        return max(0, self.rows_in - self.rows_out)
+__all__ = [
+    "OperatorMetrics",
+    "seed_scan",
+    "hpsj",
+    "apply_filter",
+    "apply_fetch",
+    "apply_selection",
+]
 
 
-# ----------------------------------------------------------------------
-# seeds
-# ----------------------------------------------------------------------
+def _context(
+    db: GraphDatabase, pattern: GraphPattern, row_limit: Optional[int]
+) -> ExecutionContext:
+    return ExecutionContext(db=db, pattern=pattern, row_limit=row_limit)
+
+
+def _drain(
+    db: GraphDatabase, op: PhysicalOperator, source=None
+) -> Tuple[TemporalTable, OperatorMetrics]:
+    """Materialize one operator's output stream into a temporal table."""
+    output = TemporalTable.from_layout(db.pool, op.layout, name=temp_name(op.name))
+    for row in op.rows(source):
+        output.insert(row)
+    return output, op.metrics
+
+
+def _layout_of(table: TemporalTable) -> RowLayout:
+    return RowLayout(table.variables, table.pending)
+
+
 def seed_scan(
     db: GraphDatabase, pattern: GraphPattern, var: str,
-    row_limit: int | None = None,
+    row_limit: Optional[int] = None,
 ) -> Tuple[TemporalTable, OperatorMetrics]:
     """Materialize one variable column from its base table extent."""
-    label = pattern.label(var)
-    output = TemporalTable(
-        db.pool, variables=(var,), name=_temp_name("scan"), row_limit=row_limit
-    )
-    metrics = OperatorMetrics(operator=f"scan({var})")
-    for row in db.base_table(label).scan():
-        output.insert((row[0],))
-        metrics.rows_out += 1
-    return output, metrics
+    return _drain(db, SeedScanOp(_context(db, pattern, row_limit), var))
 
 
 def hpsj(
     db: GraphDatabase, pattern: GraphPattern, condition: Condition,
-    row_limit: int | None = None,
+    row_limit: Optional[int] = None,
 ) -> Tuple[TemporalTable, OperatorMetrics]:
     """Algorithm 1: R-join two base tables via the cluster-based index."""
-    src, dst = condition
-    x_label, y_label = pattern.condition_labels(condition)
-    output = TemporalTable(
-        db.pool, variables=(src, dst), name=_temp_name("hpsj"), row_limit=row_limit
-    )
-    metrics = OperatorMetrics(operator=f"hpsj({src}->{dst})")
-    seen: set = set()
-    for center in db.join_index.centers(x_label, y_label):
-        metrics.centers_probed += 1
-        f_nodes = db.join_index.get_f(center, x_label)
-        t_nodes = db.join_index.get_t(center, y_label)
-        metrics.nodes_fetched += len(f_nodes) + len(t_nodes)
-        for x in f_nodes:
-            for y in t_nodes:
-                pair = (x, y)
-                if pair not in seen:
-                    seen.add(pair)
-                    output.insert(pair)
-    metrics.rows_out = len(seen)
-    return output, metrics
+    return _drain(db, SeedJoinOp(_context(db, pattern, row_limit), condition))
 
 
-# ----------------------------------------------------------------------
-# HPSJ+ filter / fetch
-# ----------------------------------------------------------------------
 def apply_filter(
     db: GraphDatabase,
     pattern: GraphPattern,
     table: TemporalTable,
     keys: Sequence[FilterKey],
-    row_limit: int | None = None,
+    row_limit: Optional[int] = None,
 ) -> Tuple[TemporalTable, OperatorMetrics]:
-    """R-semijoin(s) in one shared scan (Filter of Algorithm 2).
-
-    All *keys* must scan the same variable (Remark 3.1); each surviving
-    row gains one centers column per key.  A row survives only if *every*
-    key yields a non-empty center set — any empty set proves the row can
-    never satisfy that reachability condition.
-    """
-    keys = tuple(keys)
-    scanned_vars = {side.scanned_var(cond) for cond, side in keys}
-    if len(scanned_vars) != 1:
-        raise ValueError(f"shared filter must scan one variable, got {scanned_vars}")
-    if len({side for _, side in keys}) != 1:
-        raise ValueError(
-            "shared filter must use one code side (Remark 3.1 sharing condition)"
-        )
-    scanned = next(iter(scanned_vars))
-    position = table.var_position(scanned)
-
-    output = TemporalTable(
-        db.pool,
-        variables=table.variables,
-        pending=table.pending + keys,
-        name=_temp_name("filter"),
-        row_limit=row_limit,
-    )
-    label_pairs = [
-        (pattern.condition_labels(cond), side) for cond, side in keys
-    ]
-    names = ",".join(f"{c[0]}->{c[1]}" for c, _ in keys)
-    metrics = OperatorMetrics(operator=f"filter[{scanned}]({names})")
-    for row in table.table.scan():
-        metrics.rows_in += 1
-        node = row[position]
-        center_sets: List[Tuple[int, ...]] = []
-        alive = True
-        for (x_label, y_label), side in label_pairs:
-            if side is Side.OUT:
-                centers = db.get_centers(node, x_label, y_label)
-            else:
-                centers = db.get_centers_reverse(node, x_label, y_label)
-            if not centers:
-                alive = False
-                break
-            center_sets.append(tuple(sorted(centers)))
-        if alive:
-            output.insert(tuple(row) + tuple(center_sets))
-            metrics.rows_out += 1
-    return output, metrics
+    """R-semijoin(s) in one shared scan (Filter of Algorithm 2)."""
+    op = SharedFilterOp(_context(db, pattern, row_limit), _layout_of(table), keys)
+    return _drain(db, op, table.scan())
 
 
 def apply_fetch(
@@ -167,64 +90,13 @@ def apply_fetch(
     table: TemporalTable,
     condition: Condition,
     side: Side,
-    row_limit: int | None = None,
+    row_limit: Optional[int] = None,
 ) -> Tuple[TemporalTable, OperatorMetrics]:
-    """Fetch of Algorithm 2: materialize the condition's other variable.
-
-    Consumes the pending centers column written by the matching Filter.
-    Per row, the new column's values are the union over the row's centers
-    of the center's labeled T-subcluster (``Side.OUT``) or F-subcluster
-    (``Side.IN``); the union is deduplicated because one partner node may
-    be witnessed by several centers.
-    """
-    key: FilterKey = (condition, side)
-    centers_position = table.pending_position(key)
-    new_var = side.fetched_var(condition)
-    x_label, y_label = pattern.condition_labels(condition)
-    fetch_label = y_label if side is Side.OUT else x_label
-
-    remaining = tuple(k for k in table.pending if k != key)
-    # positions of the surviving pending columns in the input rows
-    keep_positions = [
-        table.pending_position(k) for k in table.pending if k != key
-    ]
-    var_count = len(table.variables)
-
-    output = TemporalTable(
-        db.pool,
-        variables=table.variables + (new_var,),
-        pending=remaining,
-        name=_temp_name("fetch"),
-        row_limit=row_limit,
+    """Fetch of Algorithm 2: materialize the condition's other variable."""
+    op = FetchOp(
+        _context(db, pattern, row_limit), _layout_of(table), condition, side
     )
-    src, dst = condition
-    metrics = OperatorMetrics(operator=f"fetch({src}->{dst})[{side.value}]")
-    # Per-operator memo of subcluster contents: the paper's IO_rji is an
-    # *average per retrieved node* precisely because a center's leaf stays
-    # pinned while its subcluster is consumed — re-descending the index for
-    # every (row, center) pair would overcharge the fetch by the tree height.
-    subcluster_cache: Dict[int, Tuple[int, ...]] = {}
-    for row in table.table.scan():
-        metrics.rows_in += 1
-        base = tuple(row[:var_count])
-        carried = tuple(row[p] for p in keep_positions)
-        seen_partners: set = set()
-        for center in row[centers_position]:
-            metrics.centers_probed += 1
-            partners = subcluster_cache.get(center)
-            if partners is None:
-                if side is Side.OUT:
-                    partners = db.join_index.get_t(center, fetch_label)
-                else:
-                    partners = db.join_index.get_f(center, fetch_label)
-                subcluster_cache[center] = partners
-            metrics.nodes_fetched += len(partners)
-            for partner in partners:
-                if partner not in seen_partners:
-                    seen_partners.add(partner)
-                    output.insert(base + (partner,) + carried)
-                    metrics.rows_out += 1
-    return output, metrics
+    return _drain(db, op, table.scan())
 
 
 def apply_selection(
@@ -232,28 +104,8 @@ def apply_selection(
     pattern: GraphPattern,
     table: TemporalTable,
     condition: Condition,
-    row_limit: int | None = None,
+    row_limit: Optional[int] = None,
 ) -> Tuple[TemporalTable, OperatorMetrics]:
-    """Self R-join (Eq. 5): keep rows with ``out(x) ∩ in(y) ≠ ∅``.
-
-    Both variables are already bound; the check costs two graph-code
-    retrievals per row (the ``2·(IO_B + IO_X)·|T_R|`` term of Section 4),
-    amortized by the working cache.
-    """
-    src, dst = condition
-    src_position = table.var_position(src)
-    dst_position = table.var_position(dst)
-    output = TemporalTable(
-        db.pool,
-        variables=table.variables,
-        pending=table.pending,
-        name=_temp_name("select"),
-        row_limit=row_limit,
-    )
-    metrics = OperatorMetrics(operator=f"select({src}->{dst})")
-    for row in table.table.scan():
-        metrics.rows_in += 1
-        if db.reaches(row[src_position], row[dst_position]):
-            output.insert(row)
-            metrics.rows_out += 1
-    return output, metrics
+    """Self R-join (Eq. 5): keep rows with ``out(x) ∩ in(y) ≠ ∅``."""
+    op = SelectionOp(_context(db, pattern, row_limit), _layout_of(table), condition)
+    return _drain(db, op, table.scan())

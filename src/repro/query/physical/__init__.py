@@ -1,0 +1,52 @@
+"""Physical operator layer: one implementation, two drivers.
+
+This package is the single home of the paper's online-phase algebra
+(HPSJ, HPSJ+ Filter/Fetch, selections, projection) as Volcano-style
+operator classes, plus the two drivers that interpret a validated plan
+through them: :func:`execute_plan` (materializing, the paper's HPSJ+)
+and :func:`execute_plan_streaming` (pipelined, LIMIT pushdown).
+
+Layering rule (enforced by ``lint/physical-internals``): code outside
+``repro.query`` must not import from this package — the supported entry
+points are :func:`repro.query.execute_plan`,
+:func:`repro.query.execute_plan_streaming` and
+:class:`repro.GraphEngine`.
+"""
+
+from .context import ExecutionContext, OperatorMetrics, RowLayout
+from .drivers import (
+    QueryResult,
+    RunMetrics,
+    StreamingResult,
+    execute_plan,
+    execute_plan_streaming,
+)
+from .operators import (
+    FetchOp,
+    PhysicalOperator,
+    ProjectOp,
+    SeedJoinOp,
+    SeedScanOp,
+    SelectionOp,
+    SharedFilterOp,
+    build_pipeline,
+)
+
+__all__ = [
+    "ExecutionContext",
+    "OperatorMetrics",
+    "RowLayout",
+    "QueryResult",
+    "RunMetrics",
+    "StreamingResult",
+    "execute_plan",
+    "execute_plan_streaming",
+    "FetchOp",
+    "PhysicalOperator",
+    "ProjectOp",
+    "SeedJoinOp",
+    "SeedScanOp",
+    "SelectionOp",
+    "SharedFilterOp",
+    "build_pipeline",
+]

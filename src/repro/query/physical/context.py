@@ -1,0 +1,99 @@
+"""Execution context shared by every physical operator.
+
+One :class:`ExecutionContext` is built per plan execution and handed to
+each operator: it carries the database handle, the row-limit budget that
+guards every intermediate, and a factory for temporal-table names.  The
+row *layout* (which variable columns a row currently has, plus one
+centers column per pending Filter) travels separately as a
+:class:`RowLayout`, because it changes operator by operator while the
+context does not.
+
+:class:`OperatorMetrics` lives here too — it is the per-operator half of
+the run instrumentation, produced identically by both drivers because
+the counting happens inside the operators themselves.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ...db.database import GraphDatabase
+from ..algebra import FilterKey
+from ..pattern import GraphPattern, PatternError
+
+_name_counter = itertools.count()
+
+
+def temp_name(tag: str) -> str:
+    """A unique name for one temporal table (materializing driver only)."""
+    return f"{tag}#{next(_name_counter)}"
+
+
+@dataclass
+class OperatorMetrics:
+    """Per-operator instrumentation.
+
+    Invariants (asserted by the test suite): ``rows_out <= rows_in`` for
+    every row-consuming operator (Filter, Selection), and
+    ``rows_out <= rows_in`` on seeds too, where ``rows_in`` counts the
+    candidate rows examined (base-table rows for a scan, candidate
+    center-pairs for HPSJ) before deduplication or pruning.
+    """
+
+    operator: str
+    rows_in: int = 0
+    rows_out: int = 0
+    centers_probed: int = 0
+    nodes_fetched: int = 0
+
+    @property
+    def pruned(self) -> int:
+        return max(0, self.rows_in - self.rows_out)
+
+
+class RowLayout:
+    """Schema of the rows flowing between two operators.
+
+    Mirrors :class:`~repro.query.algebra.TemporalTable`'s column layout
+    (variables first, then one centers column per pending filter) without
+    any storage behind it — the streaming driver uses it bare, the
+    materializing driver turns it into a real temporal table.
+    """
+
+    __slots__ = ("variables", "pending")
+
+    def __init__(
+        self, variables: Sequence[str], pending: Sequence[FilterKey] = ()
+    ) -> None:
+        self.variables: Tuple[str, ...] = tuple(variables)
+        self.pending: Tuple[FilterKey, ...] = tuple(pending)
+
+    def var_position(self, var: str) -> int:
+        try:
+            return self.variables.index(var)
+        except ValueError:
+            raise PatternError(
+                f"variable {var!r} not bound; bound: {self.variables}"
+            ) from None
+
+    def pending_position(self, key: FilterKey) -> int:
+        try:
+            return len(self.variables) + self.pending.index(key)
+        except ValueError:
+            raise PatternError(f"no pending centers for filter {key}") from None
+
+
+@dataclass
+class ExecutionContext:
+    """Everything the operators need from the outside world.
+
+    ``row_limit`` is the execution guard, not a LIMIT clause: any
+    operator whose output outgrows it raises
+    :class:`~repro.query.algebra.RowLimitExceeded`, under either driver.
+    """
+
+    db: GraphDatabase
+    pattern: GraphPattern
+    row_limit: Optional[int] = None

@@ -1,0 +1,219 @@
+"""The two plan drivers: materialize into temporal tables, or stream.
+
+Both drivers interpret the same validated
+:class:`~repro.query.algebra.Plan` through the *same* operator pipeline
+(:func:`~repro.query.physical.operators.build_pipeline`); they differ
+only in how rows move between operators:
+
+* :func:`execute_plan` — the paper's HPSJ+ execution ("stores them into
+  T_W"): each operator is drained into a
+  :class:`~repro.query.algebra.TemporalTable`, so intermediate reads and
+  writes are charged I/O through the buffer pool exactly as the cost
+  model prices them.
+* :func:`execute_plan_streaming` — the classic engine alternative: the
+  operators' generators are chained, no temporal table ever hits the
+  storage engine, and a ``LIMIT`` stops all upstream work the moment
+  enough output exists.
+
+Because Algorithm 1/2 logic (dedup sets, the Remark 3.1 shared scan, the
+per-center subcluster cache) lives only in the operators, the two form a
+clean ablation pair (``benchmarks/bench_ablations.py``) with identical
+result sets *and* identical per-operator ``rows_in``/``rows_out`` when
+fully drained.  Both accept ``row_limit`` (the execution guard) and
+``verify=True`` (full static plan checking before any row is produced).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from ...db.database import GraphDatabase
+from ...storage.stats import IOStats
+from ..algebra import Plan, TemporalTable
+from .context import ExecutionContext, OperatorMetrics, temp_name
+from .operators import Row, build_pipeline
+
+
+@dataclass
+class RunMetrics:
+    """Everything measured while executing one plan (either driver)."""
+
+    elapsed_seconds: float = 0.0
+    io: Optional[IOStats] = None
+    operators: List[OperatorMetrics] = field(default_factory=list)
+    peak_temporal_rows: int = 0
+    result_rows: int = 0
+
+    @property
+    def physical_io(self) -> int:
+        return self.io.total_io() if self.io else 0
+
+    @property
+    def logical_io(self) -> int:
+        return self.io.logical_reads if self.io else 0
+
+
+@dataclass
+class QueryResult:
+    """Final matches plus the plan and metrics that produced them."""
+
+    columns: Tuple[str, ...]
+    rows: List[Tuple[int, ...]]
+    plan: Plan
+    metrics: RunMetrics
+
+    def as_set(self) -> set:
+        return set(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def _verify_plan(plan: Plan, db: GraphDatabase) -> None:
+    """Run the full static plan checker; raise listing every violation."""
+    # imported lazily: the analysis layer depends on the query layer,
+    # not the other way around
+    from ...analysis.diagnostics import errors
+    from ...analysis.plancheck import PlanVerificationError, check_plan
+
+    found = errors(check_plan(plan, db=db))
+    if found:
+        raise PlanVerificationError(found)
+
+
+def _prepare(
+    db: GraphDatabase, plan: Plan, row_limit: Optional[int], verify: bool
+):
+    """Shared driver preamble: verification, validation, pipeline build."""
+    if verify:
+        _verify_plan(plan, db)
+    plan.validate()
+    ctx = ExecutionContext(db=db, pattern=plan.pattern, row_limit=row_limit)
+    operators, project = build_pipeline(ctx, plan)
+    metrics = RunMetrics(operators=[op.metrics for op in operators])
+    return operators, project, metrics
+
+
+# ----------------------------------------------------------------------
+# driver 1: materializing (the paper's HPSJ+ execution)
+# ----------------------------------------------------------------------
+def execute_plan(
+    db: GraphDatabase,
+    plan: Plan,
+    row_limit: Optional[int] = None,
+    verify: bool = False,
+) -> QueryResult:
+    """Run *plan*, materializing every intermediate; project the result.
+
+    ``row_limit`` caps every intermediate; exceeding it raises
+    :class:`repro.query.algebra.RowLimitExceeded` (an execution guard for
+    runaway patterns, not a LIMIT clause — no partial results are
+    returned).  ``verify=True`` runs the full static plan checker
+    (:func:`repro.analysis.check_plan`, including the catalog checks
+    against *db*) before interpretation and raises
+    :class:`repro.analysis.PlanVerificationError` listing every violation
+    — the belt-and-braces mode for exercising new optimizers.
+    """
+    operators, project, metrics = _prepare(db, plan, row_limit, verify)
+    io_before = db.stats.snapshot()
+    started = time.perf_counter()
+
+    table: Optional[TemporalTable] = None
+    for op in operators:
+        source = table.scan() if table is not None else None
+        output = TemporalTable.from_layout(db.pool, op.layout, name=temp_name(op.name))
+        for row in op.rows(source):
+            output.insert(row)
+        table = output
+        metrics.peak_temporal_rows = max(metrics.peak_temporal_rows, table.row_count)
+
+    rows = list(project.rows(table.scan()))
+
+    metrics.elapsed_seconds = time.perf_counter() - started
+    metrics.io = db.stats.delta_since(io_before)
+    metrics.result_rows = len(rows)
+    return QueryResult(
+        columns=tuple(plan.pattern.variables), rows=rows, plan=plan, metrics=metrics
+    )
+
+
+# ----------------------------------------------------------------------
+# driver 2: streaming (pipelined, LIMIT pushdown)
+# ----------------------------------------------------------------------
+class StreamingResult:
+    """Lazy row iterator with the same :class:`RunMetrics` as a full run.
+
+    Nothing executes until the first row is pulled; ``metrics`` is
+    populated incrementally by the operators and finalized (elapsed time,
+    I/O delta, result count, peak intermediate size) when the stream is
+    exhausted.  With a ``limit``, upstream operators stop early and the
+    metrics cover only the work actually done.
+    """
+
+    def __init__(self, rows: Iterator[Row], metrics: RunMetrics, db: GraphDatabase):
+        self._rows = rows
+        self._db = db
+        self._io_before: Optional[IOStats] = None
+        self._started: Optional[float] = None
+        self.metrics = metrics
+
+    def __iter__(self) -> "StreamingResult":
+        return self
+
+    def __next__(self) -> Row:
+        if self._started is None:
+            self._started = time.perf_counter()
+            self._io_before = self._db.stats.snapshot()
+        try:
+            row = next(self._rows)
+        except StopIteration:
+            self._finalize()
+            raise
+        self.metrics.result_rows += 1
+        return row
+
+    def _finalize(self) -> None:
+        metrics = self.metrics
+        metrics.elapsed_seconds = time.perf_counter() - (self._started or 0.0)
+        if self._io_before is not None:
+            metrics.io = self._db.stats.delta_since(self._io_before)
+        metrics.peak_temporal_rows = max(
+            (op.rows_out for op in metrics.operators), default=0
+        )
+
+
+def execute_plan_streaming(
+    db: GraphDatabase,
+    plan: Plan,
+    limit: Optional[int] = None,
+    row_limit: Optional[int] = None,
+    verify: bool = False,
+) -> StreamingResult:
+    """Yield projected result rows lazily; stop early at *limit*.
+
+    The plan is verified (optionally) and validated before any row is
+    produced; ``row_limit`` guards every operator's output exactly as in
+    :func:`execute_plan`, and the returned :class:`StreamingResult`
+    carries per-operator metrics identical to the materializing driver's
+    once the stream is fully drained.
+    """
+    operators, project, metrics = _prepare(db, plan, row_limit, verify)
+
+    source: Optional[Iterator[Row]] = None
+    for op in operators:
+        source = op.rows(source)
+    projected = project.rows(source)
+
+    def bounded() -> Iterator[Row]:
+        if limit is not None and limit <= 0:
+            return
+        emitted = 0
+        for row in projected:
+            yield row
+            emitted += 1
+            if limit is not None and emitted >= limit:
+                return
+
+    return StreamingResult(bounded(), metrics, db)

@@ -1,0 +1,415 @@
+"""The Volcano-style physical operators — Algorithms 1 and 2, once.
+
+Every operator is a class with the classic ``open()/rows()/close()``
+lifecycle over a shared :class:`~repro.query.physical.context.ExecutionContext`:
+
+* :class:`SeedScanOp` — materialize one variable column from its base
+  table extent (single-variable patterns).
+* :class:`SeedJoinOp` — HPSJ, Algorithm 1: R-join two *base* tables
+  entirely from the cluster-based R-join index (per center
+  ``w ∈ W(X,Y)``, the Cartesian product ``getF(w,X) × getT(w,Y)``,
+  unioned).  "There is no need to access base tables."
+* :class:`SharedFilterOp` — the Filter procedure of Algorithm 2 = an
+  R-semijoin: for each temporal tuple, ``X_i = getCenters(x_i, X, Y)``
+  (Eq. 6); tuples with ``X_i = ∅`` are pruned, survivors carry their
+  center sets forward.  One scan serves several conditions on the same
+  scanned variable (Remark 3.1), and repeated node values hit a
+  per-operator memo instead of re-probing and re-sorting.
+* :class:`FetchOp` — the Fetch procedure: per surviving tuple and center,
+  Cartesian-product with the center's labeled T-subcluster (or
+  F-subcluster for the mirrored direction), deduplicating per tuple since
+  several centers can witness the same partner node.
+* :class:`SelectionOp` — the self R-join (Eq. 5): test
+  ``out(x) ∩ in(y) ≠ ∅`` between two already-bound columns.
+* :class:`ProjectOp` — project the pattern's variables in declaration
+  order off the final intermediate.
+
+The two drivers in :mod:`repro.query.physical.drivers` differ only in
+how they move rows between these operators: the materializing driver
+drains each ``rows()`` into a temporal table, the streaming driver chains
+the generators.  Deduplication sets, the Remark 3.1 shared scan, the
+per-center subcluster cache and all metric counting live here and
+nowhere else, so the two execution modes cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..algebra import (
+    FetchStep,
+    FilterKey,
+    FilterStep,
+    Plan,
+    RowLimitExceeded,
+    SeedJoin,
+    SeedScan,
+    SelectionStep,
+    Side,
+)
+from ..pattern import Condition
+from .context import ExecutionContext, OperatorMetrics, RowLayout
+
+Row = Tuple[int, ...]
+
+
+class PhysicalOperator:
+    """Base class: lifecycle, row accounting, and the row-limit guard.
+
+    Subclasses implement :meth:`_produce`; the base wraps it so that
+
+    * ``open()`` resets all per-execution state (dedup sets, memos and
+      the metrics counters), making an operator instance reusable;
+    * every emitted row is counted into ``metrics.rows_out`` and checked
+      against the context's ``row_limit`` budget — the one enforcement
+      point for both drivers;
+    * ``close()`` releases per-execution state even when the consumer
+      abandons the iterator early (LIMIT pushdown closes generators).
+    """
+
+    def __init__(self, ctx: ExecutionContext, name: str, layout: RowLayout):
+        self.ctx = ctx
+        self.name = name
+        #: schema of the rows this operator emits
+        self.layout = layout
+        self.metrics = OperatorMetrics(operator=name)
+
+    # -- lifecycle -----------------------------------------------------
+    def open(self) -> None:
+        """Reset per-execution state; called when ``rows()`` starts."""
+        self.metrics.rows_in = 0
+        self.metrics.rows_out = 0
+        self.metrics.centers_probed = 0
+        self.metrics.nodes_fetched = 0
+
+    def rows(self, source: Optional[Iterable[Row]] = None) -> Iterator[Row]:
+        """The operator's output stream (opens on first pull)."""
+        self.open()
+        limit = self.ctx.row_limit
+        metrics = self.metrics
+        try:
+            for row in self._produce(source):
+                metrics.rows_out += 1
+                if limit is not None and metrics.rows_out > limit:
+                    raise RowLimitExceeded(
+                        f"operator {self.name} exceeded {limit} rows"
+                    )
+                yield row
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Release per-execution state; called when the stream ends."""
+
+    # -- helpers -------------------------------------------------------
+    def _pull(self, source: Optional[Iterable[Row]]) -> Iterator[Row]:
+        """Iterate the child's rows, counting them into ``rows_in``."""
+        if source is None:
+            raise TypeError(f"operator {self.name} requires an input stream")
+        metrics = self.metrics
+        for row in source:
+            metrics.rows_in += 1
+            yield row
+
+    def _produce(self, source: Optional[Iterable[Row]]) -> Iterator[Row]:
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# seeds
+# ----------------------------------------------------------------------
+class SeedScanOp(PhysicalOperator):
+    """Scan one base table to seed a single-variable intermediate."""
+
+    def __init__(self, ctx: ExecutionContext, var: str):
+        super().__init__(ctx, f"scan({var})", RowLayout((var,)))
+        self.var = var
+        self.label = ctx.pattern.label(var)
+
+    def _produce(self, source: Optional[Iterable[Row]]) -> Iterator[Row]:
+        metrics = self.metrics
+        for row in self.ctx.db.base_table(self.label).scan():
+            metrics.rows_in += 1
+            yield (row[0],)
+
+
+class SeedJoinOp(PhysicalOperator):
+    """HPSJ (Algorithm 1): R-join two base tables via the join index.
+
+    ``rows_in`` counts the candidate pairs enumerated from the
+    subcluster Cartesian products; ``rows_out`` the deduplicated pairs.
+    """
+
+    def __init__(self, ctx: ExecutionContext, condition: Condition):
+        src, dst = condition
+        super().__init__(ctx, f"hpsj({src}->{dst})", RowLayout(condition))
+        self.condition = condition
+        self.x_label, self.y_label = ctx.pattern.condition_labels(condition)
+        self._seen: set = set()
+
+    def open(self) -> None:
+        super().open()
+        self._seen = set()
+
+    def close(self) -> None:
+        self._seen = set()
+
+    def _produce(self, source: Optional[Iterable[Row]]) -> Iterator[Row]:
+        db = self.ctx.db
+        metrics = self.metrics
+        seen = self._seen
+        for center in db.join_index.centers(self.x_label, self.y_label):
+            metrics.centers_probed += 1
+            f_nodes = db.join_index.get_f(center, self.x_label)
+            t_nodes = db.join_index.get_t(center, self.y_label)
+            metrics.nodes_fetched += len(f_nodes) + len(t_nodes)
+            for x in f_nodes:
+                for y in t_nodes:
+                    metrics.rows_in += 1
+                    pair = (x, y)
+                    if pair not in seen:
+                        seen.add(pair)
+                        yield pair
+
+
+# ----------------------------------------------------------------------
+# HPSJ+ filter / fetch
+# ----------------------------------------------------------------------
+class SharedFilterOp(PhysicalOperator):
+    """R-semijoin(s) in one shared scan (Filter of Algorithm 2).
+
+    All *keys* must scan the same variable with the same code side
+    (Remark 3.1); each surviving row gains one centers column per key.  A
+    row survives only if *every* key yields a non-empty center set — any
+    empty set proves the row can never satisfy that reachability
+    condition.  Because the verdict depends only on the scanned node, a
+    per-operator memo caches each node's computed center columns (or its
+    pruning) so repeated values pay neither the index probes nor the
+    per-key sort again.
+    """
+
+    def __init__(
+        self,
+        ctx: ExecutionContext,
+        input_layout: RowLayout,
+        keys: Sequence[FilterKey],
+    ):
+        keys = tuple(keys)
+        scanned_vars = {side.scanned_var(cond) for cond, side in keys}
+        if len(scanned_vars) != 1:
+            raise ValueError(
+                f"shared filter must scan one variable, got {scanned_vars}"
+            )
+        if len({side for _, side in keys}) != 1:
+            raise ValueError(
+                "shared filter must use one code side (Remark 3.1 sharing condition)"
+            )
+        scanned = next(iter(scanned_vars))
+        names = ",".join(f"{c[0]}->{c[1]}" for c, _ in keys)
+        super().__init__(
+            ctx,
+            f"filter[{scanned}]({names})",
+            RowLayout(input_layout.variables, input_layout.pending + keys),
+        )
+        self.keys = keys
+        self.position = input_layout.var_position(scanned)
+        # label pairs are resolved once here, not per row
+        self.label_pairs = [
+            (ctx.pattern.condition_labels(cond), side) for cond, side in keys
+        ]
+        self._memo: Dict[int, Optional[Tuple[Tuple[int, ...], ...]]] = {}
+
+    def open(self) -> None:
+        super().open()
+        self._memo = {}
+
+    def close(self) -> None:
+        self._memo = {}
+
+    def _centers_for(self, node: int) -> Optional[Tuple[Tuple[int, ...], ...]]:
+        """The row suffix for *node*, or None if any key prunes it."""
+        db = self.ctx.db
+        center_sets: List[Tuple[int, ...]] = []
+        for (x_label, y_label), side in self.label_pairs:
+            if side is Side.OUT:
+                centers = db.get_centers(node, x_label, y_label)
+            else:
+                centers = db.get_centers_reverse(node, x_label, y_label)
+            if not centers:
+                return None
+            center_sets.append(tuple(sorted(centers)))
+        return tuple(center_sets)
+
+    def _produce(self, source: Optional[Iterable[Row]]) -> Iterator[Row]:
+        memo = self._memo
+        position = self.position
+        for row in self._pull(source):
+            node = row[position]
+            if node in memo:
+                suffix = memo[node]
+            else:
+                suffix = memo[node] = self._centers_for(node)
+            if suffix is not None:
+                yield tuple(row) + suffix
+
+
+class FetchOp(PhysicalOperator):
+    """Fetch of Algorithm 2: materialize the condition's other variable.
+
+    Consumes the pending centers column written by the matching Filter.
+    Per row, the new column's values are the union over the row's centers
+    of the center's labeled T-subcluster (``Side.OUT``) or F-subcluster
+    (``Side.IN``); the union is deduplicated because one partner node may
+    be witnessed by several centers.
+    """
+
+    def __init__(
+        self,
+        ctx: ExecutionContext,
+        input_layout: RowLayout,
+        condition: Condition,
+        side: Side,
+    ):
+        src, dst = condition
+        key: FilterKey = (condition, side)
+        remaining = tuple(k for k in input_layout.pending if k != key)
+        super().__init__(
+            ctx,
+            f"fetch({src}->{dst})[{side.value}]",
+            RowLayout(
+                input_layout.variables + (side.fetched_var(condition),),
+                remaining,
+            ),
+        )
+        self.condition = condition
+        self.side = side
+        self.centers_position = input_layout.pending_position(key)
+        x_label, y_label = ctx.pattern.condition_labels(condition)
+        self.fetch_label = y_label if side is Side.OUT else x_label
+        # positions of the surviving pending columns in the input rows
+        self.keep_positions = [
+            input_layout.pending_position(k) for k in remaining
+        ]
+        self.var_count = len(input_layout.variables)
+        # Per-operator memo of subcluster contents: the paper's IO_rji is
+        # an *average per retrieved node* precisely because a center's
+        # leaf stays pinned while its subcluster is consumed —
+        # re-descending the index for every (row, center) pair would
+        # overcharge the fetch by the tree height.
+        self._subclusters: Dict[int, Tuple[int, ...]] = {}
+
+    def open(self) -> None:
+        super().open()
+        self._subclusters = {}
+
+    def close(self) -> None:
+        self._subclusters = {}
+
+    def _produce(self, source: Optional[Iterable[Row]]) -> Iterator[Row]:
+        db = self.ctx.db
+        metrics = self.metrics
+        side = self.side
+        cache = self._subclusters
+        for row in self._pull(source):
+            base = tuple(row[: self.var_count])
+            carried = tuple(row[p] for p in self.keep_positions)
+            seen_partners: set = set()
+            for center in row[self.centers_position]:
+                metrics.centers_probed += 1
+                partners = cache.get(center)
+                if partners is None:
+                    if side is Side.OUT:
+                        partners = db.join_index.get_t(center, self.fetch_label)
+                    else:
+                        partners = db.join_index.get_f(center, self.fetch_label)
+                    cache[center] = partners
+                metrics.nodes_fetched += len(partners)
+                for partner in partners:
+                    if partner not in seen_partners:
+                        seen_partners.add(partner)
+                        yield base + (partner,) + carried
+
+
+class SelectionOp(PhysicalOperator):
+    """Self R-join (Eq. 5): keep rows with ``out(x) ∩ in(y) ≠ ∅``.
+
+    Both variables are already bound; the check costs two graph-code
+    retrievals per row (the ``2·(IO_B + IO_X)·|T_R|`` term of Section 4),
+    amortized by the working cache.
+    """
+
+    def __init__(
+        self,
+        ctx: ExecutionContext,
+        input_layout: RowLayout,
+        condition: Condition,
+    ):
+        src, dst = condition
+        super().__init__(
+            ctx,
+            f"select({src}->{dst})",
+            RowLayout(input_layout.variables, input_layout.pending),
+        )
+        self.condition = condition
+        self.src_position = input_layout.var_position(src)
+        self.dst_position = input_layout.var_position(dst)
+
+    def _produce(self, source: Optional[Iterable[Row]]) -> Iterator[Row]:
+        db = self.ctx.db
+        src_position = self.src_position
+        dst_position = self.dst_position
+        for row in self._pull(source):
+            if db.reaches(row[src_position], row[dst_position]):
+                yield tuple(row)
+
+
+class ProjectOp(PhysicalOperator):
+    """Project the pattern's variables, in declaration order."""
+
+    def __init__(self, ctx: ExecutionContext, input_layout: RowLayout):
+        variables = tuple(ctx.pattern.variables)
+        super().__init__(ctx, "project", RowLayout(variables))
+        if input_layout.pending:
+            raise RuntimeError(
+                f"plan finished with unconsumed filters {input_layout.pending}"
+            )
+        self.positions = [input_layout.var_position(v) for v in variables]
+
+    def _produce(self, source: Optional[Iterable[Row]]) -> Iterator[Row]:
+        positions = self.positions
+        for row in self._pull(source):
+            yield tuple(row[p] for p in positions)
+
+
+# ----------------------------------------------------------------------
+# plan -> operator pipeline
+# ----------------------------------------------------------------------
+def build_pipeline(
+    ctx: ExecutionContext, plan: Plan
+) -> Tuple[List[PhysicalOperator], ProjectOp]:
+    """Instantiate one operator per plan step, plus the final projection.
+
+    The returned step operators line up index-for-index with
+    ``plan.steps`` (so per-operator metrics report one entry per step);
+    the :class:`ProjectOp` is returned separately because it is driver
+    plumbing, not a costed plan step.
+    """
+    operators: List[PhysicalOperator] = []
+    layout: Optional[RowLayout] = None
+    for step in plan.steps:
+        op: PhysicalOperator
+        if isinstance(step, SeedScan):
+            op = SeedScanOp(ctx, step.var)
+        elif isinstance(step, SeedJoin):
+            op = SeedJoinOp(ctx, step.condition)
+        elif isinstance(step, FilterStep):
+            op = SharedFilterOp(ctx, layout, step.keys)
+        elif isinstance(step, FetchStep):
+            op = FetchOp(ctx, layout, step.condition, step.side)
+        elif isinstance(step, SelectionStep):
+            op = SelectionOp(ctx, layout, step.condition)
+        else:  # pragma: no cover - Plan.validate rejects unknown steps
+            raise TypeError(f"unknown plan step {step!r}")
+        operators.append(op)
+        layout = op.layout
+    return operators, ProjectOp(ctx, layout)

@@ -1,196 +1,16 @@
-"""Pipelined plan execution: stream rows instead of materializing tables.
+"""Pipelined (streaming) plan execution (compatibility shim).
 
-The paper's HPSJ+ materializes every intermediate ("stores them into
-T_W"), which is what the default executor does and what the cost model
-prices.  A classic engine alternative is to *pipeline*: each operator
-pulls rows from its child lazily, no temporal table ever hits the storage
-engine, and a ``LIMIT`` stops all upstream work the moment enough output
-exists.
-
-:func:`execute_plan_streaming` interprets exactly the same validated
-:class:`~repro.query.algebra.Plan` objects as the materializing executor
-— same operators, same semantics, same results — so the two form a clean
-ablation pair (``benchmarks/bench_ablations.py``).  The trade-offs are
-the textbook ones: pipelining wins when results are consumed partially
-(LIMIT, EXISTS-style checks) or when intermediates are large relative to
-the buffer; materialization wins when an intermediate is scanned several
-times (which left-deep R-join plans never do).
-
-Duplicate-free guarantee: the streaming operators mirror the
-deduplication of their materializing counterparts (HPSJ's pair set and
-Fetch's per-row partner set), so the output row *set* is identical.
+The streaming driver — chain the physical operators' generators so no
+temporal table ever hits the storage engine, with LIMIT pushdown — lives
+in :mod:`repro.query.physical.drivers` next to its materializing twin.
+This module preserves the historical import path
+(``repro.query.pipeline``) for :func:`execute_plan_streaming` and the
+:class:`StreamingResult` it returns; because both drivers run the same
+operator instances, streaming now supports ``row_limit`` and
+``verify=True`` and reports per-operator metrics identical to the
+materializing driver's once fully drained.
 """
 
-from __future__ import annotations
+from .physical.drivers import StreamingResult, execute_plan_streaming
 
-import itertools
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
-
-from ..db.database import GraphDatabase
-from .algebra import (
-    FetchStep,
-    FilterKey,
-    FilterStep,
-    Plan,
-    SeedJoin,
-    SeedScan,
-    SelectionStep,
-    Side,
-)
-from .pattern import GraphPattern
-
-Row = Tuple[int, ...]
-
-
-class _Layout:
-    """Tracks which columns a streaming row currently has.
-
-    Mirrors :class:`TemporalTable`'s layout (variables first, then one
-    centers column per pending filter) without any storage behind it.
-    """
-
-    def __init__(self, variables: Sequence[str], pending: Sequence[FilterKey] = ()):
-        self.variables: Tuple[str, ...] = tuple(variables)
-        self.pending: Tuple[FilterKey, ...] = tuple(pending)
-
-    def var_position(self, var: str) -> int:
-        return self.variables.index(var)
-
-    def pending_position(self, key: FilterKey) -> int:
-        return len(self.variables) + self.pending.index(key)
-
-
-def _seed_scan(db: GraphDatabase, pattern: GraphPattern, var: str):
-    label = pattern.label(var)
-
-    def rows() -> Iterator[Row]:
-        for row in db.base_table(label).scan():
-            yield (row[0],)
-
-    return rows(), _Layout((var,))
-
-
-def _seed_join(db: GraphDatabase, pattern: GraphPattern, condition):
-    x_label, y_label = pattern.condition_labels(condition)
-
-    def rows() -> Iterator[Row]:
-        seen = set()
-        for center in db.join_index.centers(x_label, y_label):
-            f_nodes = db.join_index.get_f(center, x_label)
-            t_nodes = db.join_index.get_t(center, y_label)
-            for x in f_nodes:
-                for y in t_nodes:
-                    if (x, y) not in seen:
-                        seen.add((x, y))
-                        yield (x, y)
-
-    return rows(), _Layout(condition)
-
-
-def _filter(db, pattern, source, layout: _Layout, keys: Tuple[FilterKey, ...]):
-    scanned = {side.scanned_var(cond) for cond, side in keys}
-    if len(scanned) != 1 or len({side for _, side in keys}) != 1:
-        raise ValueError("shared filter must scan one variable with one side")
-    position = layout.var_position(next(iter(scanned)))
-    label_pairs = [(pattern.condition_labels(cond), side) for cond, side in keys]
-
-    def rows() -> Iterator[Row]:
-        for row in source:
-            node = row[position]
-            centers_columns: List[Tuple[int, ...]] = []
-            alive = True
-            for (x_label, y_label), side in label_pairs:
-                if side is Side.OUT:
-                    centers = db.get_centers(node, x_label, y_label)
-                else:
-                    centers = db.get_centers_reverse(node, x_label, y_label)
-                if not centers:
-                    alive = False
-                    break
-                centers_columns.append(tuple(sorted(centers)))
-            if alive:
-                yield tuple(row) + tuple(centers_columns)
-
-    return rows(), _Layout(layout.variables, layout.pending + keys)
-
-
-def _fetch(db, pattern, source, layout: _Layout, condition, side: Side):
-    key: FilterKey = (condition, side)
-    centers_position = layout.pending_position(key)
-    new_var = side.fetched_var(condition)
-    x_label, y_label = pattern.condition_labels(condition)
-    fetch_label = y_label if side is Side.OUT else x_label
-    remaining = tuple(k for k in layout.pending if k != key)
-    keep_positions = [layout.pending_position(k) for k in remaining]
-    var_count = len(layout.variables)
-    subcluster_cache: Dict[int, Tuple[int, ...]] = {}
-
-    def rows() -> Iterator[Row]:
-        for row in source:
-            base = tuple(row[:var_count])
-            carried = tuple(row[p] for p in keep_positions)
-            seen = set()
-            for center in row[centers_position]:
-                partners = subcluster_cache.get(center)
-                if partners is None:
-                    if side is Side.OUT:
-                        partners = db.join_index.get_t(center, fetch_label)
-                    else:
-                        partners = db.join_index.get_f(center, fetch_label)
-                    subcluster_cache[center] = partners
-                for partner in partners:
-                    if partner not in seen:
-                        seen.add(partner)
-                        yield base + (partner,) + carried
-
-    return rows(), _Layout(layout.variables + (new_var,), remaining)
-
-
-def _selection(db, pattern, source, layout: _Layout, condition):
-    src_position = layout.var_position(condition[0])
-    dst_position = layout.var_position(condition[1])
-
-    def rows() -> Iterator[Row]:
-        for row in source:
-            if db.reaches(row[src_position], row[dst_position]):
-                yield row
-
-    return rows(), layout
-
-
-def execute_plan_streaming(
-    db: GraphDatabase,
-    plan: Plan,
-    limit: Optional[int] = None,
-) -> Iterator[Row]:
-    """Yield projected result rows lazily; stop early at *limit*.
-
-    The plan is validated first; unsupported step sequences fail before
-    any row is produced.
-    """
-    plan.validate()
-    pattern = plan.pattern
-
-    source: Optional[Iterator[Row]] = None
-    layout: Optional[_Layout] = None
-    for step in plan.steps:
-        if isinstance(step, SeedScan):
-            source, layout = _seed_scan(db, pattern, step.var)
-        elif isinstance(step, SeedJoin):
-            source, layout = _seed_join(db, pattern, step.condition)
-        elif isinstance(step, FilterStep):
-            source, layout = _filter(db, pattern, source, layout, step.keys)
-        elif isinstance(step, FetchStep):
-            source, layout = _fetch(
-                db, pattern, source, layout, step.condition, step.side
-            )
-        elif isinstance(step, SelectionStep):
-            source, layout = _selection(db, pattern, source, layout, step.condition)
-        else:  # pragma: no cover - Plan.validate rejects unknown steps
-            raise TypeError(f"unknown plan step {step!r}")
-
-    positions = [layout.var_position(var) for var in pattern.variables]
-    projected = (tuple(row[p] for p in positions) for row in source)
-    if limit is not None:
-        projected = itertools.islice(projected, limit)
-    return projected
+__all__ = ["StreamingResult", "execute_plan_streaming"]

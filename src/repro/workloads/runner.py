@@ -62,6 +62,33 @@ def run_rjoin(
     )
 
 
+def run_rjoin_streaming(
+    engine: GraphEngine, name: str, pattern: GraphPattern, optimizer: str
+) -> ExperimentRecord:
+    """Run DP or DPS through the *streaming* driver and record metrics.
+
+    Engine tag ``DP-S``/``DPS-S`` so :func:`check_agreement` cross-checks
+    the drained row count against the materializing run of the same
+    query.  The per-operator metrics come from the
+    :class:`~repro.query.StreamingResult`, which the physical-operator
+    layer prices identically to the materializing driver (minus the
+    temporal-table I/O it never performs).
+    """
+    engine.db.reset_counters()
+    stream = engine.match_iter(pattern, optimizer=optimizer)
+    rows = sum(1 for _ in stream)
+    metrics = stream.metrics
+    return ExperimentRecord(
+        engine=f"{optimizer.upper()}-S",
+        query=name,
+        elapsed_seconds=metrics.elapsed_seconds,
+        result_rows=rows,
+        physical_io=metrics.physical_io,
+        logical_io=metrics.logical_io,
+        extra={"peak_temporal_rows": metrics.peak_temporal_rows},
+    )
+
+
 def run_tsd(tsd: TwigStackD, name: str, pattern: GraphPattern) -> ExperimentRecord:
     rows, metrics = tsd.match(pattern)
     return ExperimentRecord(

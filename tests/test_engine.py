@@ -144,8 +144,39 @@ class TestPlanCache:
             fig1_engine.PLAN_CACHE_SIZE = 2
             fig1_engine.plan("A -> C")
             fig1_engine.plan("B -> C")
-            fig1_engine.plan("C -> D")  # triggers the wholesale reset
+            fig1_engine.plan("C -> D")  # triggers one LRU eviction
             assert len(fig1_engine._plan_cache) <= 2
+        finally:
+            fig1_engine.PLAN_CACHE_SIZE = original
+
+    def test_lru_eviction_keeps_hottest_plan(self, fig1_engine):
+        """Eviction is LRU, not wholesale: the hottest plan survives."""
+        fig1_engine._plan_cache = {}
+        original = fig1_engine.PLAN_CACHE_SIZE
+        try:
+            fig1_engine.PLAN_CACHE_SIZE = 2
+            hot = fig1_engine.plan("A -> C")
+            fig1_engine.plan("B -> C")
+            assert fig1_engine.plan("A -> C") is hot  # touch: A is now youngest
+            fig1_engine.plan("C -> D")  # at capacity: evicts B, the LRU entry
+            cached_keys = {key for key, _ in fig1_engine._plan_cache.items()}
+            assert ("A -> C", "dps") in cached_keys
+            assert ("B -> C", "dps") not in cached_keys
+            # and the survivor is still served from cache, same object
+            assert fig1_engine.plan("A -> C") is hot
+        finally:
+            fig1_engine.PLAN_CACHE_SIZE = original
+
+    def test_lru_eviction_drops_oldest_without_touch(self, fig1_engine):
+        fig1_engine._plan_cache = {}
+        original = fig1_engine.PLAN_CACHE_SIZE
+        try:
+            fig1_engine.PLAN_CACHE_SIZE = 2
+            fig1_engine.plan("A -> C")
+            second = fig1_engine.plan("B -> C")
+            fig1_engine.plan("C -> D")  # A is oldest: evicted
+            assert ("A -> C", "dps") not in fig1_engine._plan_cache
+            assert fig1_engine.plan("B -> C") is second
         finally:
             fig1_engine.PLAN_CACHE_SIZE = original
 

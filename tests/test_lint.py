@@ -67,6 +67,62 @@ class TestStorageBypass:
 
 
 # ----------------------------------------------------------------------
+# lint/physical-internals
+# ----------------------------------------------------------------------
+class TestPhysicalInternals:
+    OUTSIDE_FILE = "src/repro/workloads/rogue.py"
+    QUERY_FILE = "src/repro/query/engine.py"
+
+    def test_from_import_flagged_outside_query_layer(self):
+        diags = lint(
+            "from repro.query.physical.operators import FetchOp\n",
+            filename=self.OUTSIDE_FILE,
+        )
+        assert "lint/physical-internals" in rules(diags)
+
+    def test_plain_import_flagged_outside_query_layer(self):
+        diags = lint("import repro.query.physical\n", filename=self.OUTSIDE_FILE)
+        assert "lint/physical-internals" in rules(diags)
+
+    def test_relative_import_flagged_outside_query_layer(self):
+        diags = lint(
+            "from ..query.physical.drivers import execute_plan\n",
+            filename=self.OUTSIDE_FILE,
+        )
+        assert "lint/physical-internals" in rules(diags)
+
+    def test_package_alias_import_flagged(self):
+        diags = lint("from repro.query import physical\n",
+                     filename=self.OUTSIDE_FILE)
+        assert "lint/physical-internals" in rules(diags)
+
+    def test_public_entry_points_fine_outside_query_layer(self):
+        diags = lint(
+            """
+            from repro.query import GraphEngine, execute_plan, execute_plan_streaming
+
+            def ok(db, plan):
+                return execute_plan(db, plan), execute_plan_streaming, GraphEngine
+            """,
+            filename=self.OUTSIDE_FILE,
+        )
+        assert "lint/physical-internals" not in rules(diags)
+
+    def test_query_layer_may_use_its_own_internals(self):
+        diags = lint(
+            """
+            from .physical.drivers import execute_plan
+            from repro.query.physical import build_pipeline
+
+            def ok():
+                return execute_plan, build_pipeline
+            """,
+            filename=self.QUERY_FILE,
+        )
+        assert "lint/physical-internals" not in rules(diags)
+
+
+# ----------------------------------------------------------------------
 # lint/mutable-default
 # ----------------------------------------------------------------------
 class TestMutableDefault:

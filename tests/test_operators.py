@@ -40,6 +40,17 @@ class TestSeedOperators:
         rows = {row[0] for row in table.table.scan()}
         assert rows == set(db.graph.extent("B"))
         assert metrics.rows_out == len(rows)
+        # seeds report rows_in too: the base-table rows examined
+        assert metrics.rows_in == len(rows)
+
+    def test_hpsj_metrics_invariants(self, db):
+        """rows_in counts candidate center-pairs, rows_out the dedup'd join."""
+        pattern = two_var_pattern("B", "E")
+        table, metrics = hpsj(db, pattern, ("B", "E"))
+        assert metrics.rows_in >= metrics.rows_out > 0
+        assert metrics.rows_out == table.row_count
+        assert metrics.centers_probed > 0
+        assert metrics.nodes_fetched > 0
 
     def test_hpsj_equals_all_reachable_pairs(self, db, closure):
         """Algorithm 1 output == exact reachability join of two extents."""
@@ -164,6 +175,20 @@ class TestFilterFetch:
                 db, pattern, seeded,
                 [(("C", "D"), Side.OUT), (("B", "C"), Side.IN)],
             )
+
+    def test_filter_metrics_invariants(self, db):
+        """A Filter can only prune: rows_out <= rows_in, both populated."""
+        pattern = GraphPattern.build(
+            {"B": "B", "C": "C", "D": "D"}, [("B", "C"), ("C", "D")]
+        )
+        seeded, _ = hpsj(db, pattern, ("B", "C"))
+        filtered, metrics = apply_filter(
+            db, pattern, seeded, [(("C", "D"), Side.OUT)]
+        )
+        assert metrics.rows_in == seeded.row_count
+        assert 0 <= metrics.rows_out <= metrics.rows_in
+        assert metrics.rows_out == filtered.row_count
+        assert metrics.pruned == metrics.rows_in - metrics.rows_out
 
     def test_fetch_deduplicates_partners(self, db):
         """A partner witnessed by several centers must appear once."""
