@@ -45,10 +45,11 @@ def tree_pattern(cached_engine):
 
 @pytest.mark.parametrize("cache", ("cache-on", "cache-off"))
 def test_ablation_working_cache(
-    benchmark, cache, cached_engine, uncached_engine, tree_pattern
+    benchmark, cache, cached_engine, uncached_engine, tree_pattern, bench_record
 ):
     engine = cached_engine if cache == "cache-on" else uncached_engine
     result = benchmark(lambda: engine.match(tree_pattern, optimizer="dps"))
+    bench_record.add_result(result, query="TREE_3", optimizer="dps", variant=cache)
     hits = engine.db.code_cache.hits
     misses = engine.db.code_cache.misses
     benchmark.extra_info.update(

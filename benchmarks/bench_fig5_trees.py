@@ -9,6 +9,8 @@ because INT-DP pays a sort per join.
 Run with: pytest benchmarks/bench_fig5_trees.py --benchmark-only -s
 """
 
+import time
+
 import pytest
 
 TREE_QUERIES = tuple(f"T{i}" for i in range(1, 10))
@@ -32,7 +34,7 @@ def reference_counts(dag_engine, tree_patterns):
 @pytest.mark.parametrize("engine_name", ENGINES)
 def test_fig5b_tree_patterns(
     benchmark, engine_name, query,
-    dag_engine, dag_tsd, dag_igmj, tree_patterns, reference_counts,
+    dag_engine, dag_tsd, dag_igmj, tree_patterns, reference_counts, bench_record,
 ):
     pattern = tree_patterns[query]
 
@@ -43,11 +45,22 @@ def test_fig5b_tree_patterns(
     else:
         run = lambda: dag_engine.match(pattern, optimizer="dp").rows
 
-    rows = benchmark(run)
+    last_ms = {}
+
+    def timed():
+        started = time.perf_counter()
+        out = run()
+        last_ms["ms"] = (time.perf_counter() - started) * 1000.0
+        return out
+
+    rows = benchmark(timed)
     assert len(rows) == reference_counts[query], (
         f"{engine_name} disagrees with DP on {query}"
     )
     benchmark.extra_info.update(
         {"figure": "5b", "query": query, "engine": engine_name, "rows": len(rows)}
+    )
+    bench_record.add(
+        query=query, optimizer=engine_name, wall_ms=last_ms["ms"], rows=len(rows)
     )
     print(f"\n[Fig 5b] {query} {engine_name:>7}: rows={len(rows)}")

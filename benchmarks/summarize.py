@@ -9,6 +9,15 @@ per engine — so a benchmark run turns directly into a Figure 5/6/7
 replica.
 
 Run:  python benchmarks/summarize.py out.json [--figure 5a]
+
+It also understands the ``BENCH_<name>.json`` files the bench harness
+writes (``benchmarks/results/``):
+
+    python benchmarks/summarize.py --diff old.json new.json
+
+compares two BENCH files entry by entry (matched on query, optimizer and
+variant) and flags every wall-ms regression above 15%, exiting non-zero
+if any is found — the CI regression gate.
 """
 
 from __future__ import annotations
@@ -89,11 +98,85 @@ def available_figures(measurements: List[Dict[str, Any]]) -> List[str]:
     return seen
 
 
+#: wall-ms growth beyond this fraction counts as a regression
+REGRESSION_THRESHOLD = 0.15
+
+
+def load_bench_entries(path: str) -> Dict[Any, Dict[str, Any]]:
+    """Load one ``BENCH_<name>.json`` file keyed by (query, optimizer, variant)."""
+    with open(path) as f:
+        payload = json.load(f)
+    entries = payload.get("entries", [])
+    return {
+        (e.get("query"), e.get("optimizer"), e.get("variant")): e for e in entries
+    }
+
+
+def diff_bench_files(
+    old_path: str, new_path: str, threshold: float = REGRESSION_THRESHOLD
+) -> List[str]:
+    """Compare two BENCH files; return one line per flagged regression.
+
+    Entries are matched on ``(query, optimizer, variant)``; entries present
+    in only one file are reported informationally but are not regressions.
+    """
+    old = load_bench_entries(old_path)
+    new = load_bench_entries(new_path)
+    regressions: List[str] = []
+    for key in sorted(k for k in old if k in new):
+        old_ms = old[key].get("wall_ms")
+        new_ms = new[key].get("wall_ms")
+        if not old_ms or new_ms is None:
+            continue
+        growth = (new_ms - old_ms) / old_ms
+        if growth > threshold:
+            query, optimizer, variant = key
+            tag = f"{query}/{optimizer}" + (f"/{variant}" if variant else "")
+            regressions.append(
+                f"REGRESSION {tag}: {old_ms:.2f}ms -> {new_ms:.2f}ms "
+                f"(+{growth:.0%}, threshold +{threshold:.0%})"
+            )
+    return regressions
+
+
+def run_diff(old_path: str, new_path: str) -> int:
+    old = load_bench_entries(old_path)
+    new = load_bench_entries(new_path)
+    for key in sorted(set(old) | set(new)):
+        if key not in new:
+            print(f"only in old: {key}")
+        elif key not in old:
+            print(f"only in new: {key}")
+    regressions = diff_bench_files(old_path, new_path)
+    matched = len(set(old) & set(new))
+    if regressions:
+        for line in regressions:
+            print(line)
+        print(f"{len(regressions)} regression(s) across {matched} matched entries")
+        return 1
+    print(f"no regressions across {matched} matched entries")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("json_path", help="pytest-benchmark JSON output")
+    parser.add_argument(
+        "json_path", nargs="?", help="pytest-benchmark JSON output"
+    )
     parser.add_argument("--figure", help="render one figure only (e.g. 5a)")
+    parser.add_argument(
+        "--diff",
+        nargs=2,
+        metavar=("OLD", "NEW"),
+        help="compare two BENCH_<name>.json files; exit 1 on a >15%% "
+        "wall-ms regression",
+    )
     args = parser.parse_args(argv)
+
+    if args.diff:
+        return run_diff(*args.diff)
+    if not args.json_path:
+        parser.error("json_path is required unless --diff is given")
 
     measurements = load_measurements(args.json_path)
     if not measurements:

@@ -82,7 +82,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    engine = GraphEngine.from_database(load_database(args.database))
+    from .query import DEFAULT_CACHE_BYTES
+
+    engine = GraphEngine.from_database(
+        load_database(args.database),
+        cache_bytes=0 if args.no_center_cache else DEFAULT_CACHE_BYTES,
+    )
     if args.explain:
         print(engine.explain(args.pattern, optimizer=args.optimizer))
         return 0
@@ -91,6 +96,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         for row in engine.match_iter(
             args.pattern, optimizer=args.optimizer, limit=args.limit,
             row_limit=args.row_limit, verify=args.verify,
+            batch_size=args.batch_size,
         ):
             print("\t".join(str(v) for v in row))
             count += 1
@@ -99,6 +105,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     result = engine.match(
         args.pattern, optimizer=args.optimizer,
         row_limit=args.row_limit, verify=args.verify,
+        batch_size=args.batch_size,
     )
     print("\t".join(result.columns))
     shown = result.rows if args.all else result.rows[:args.head]
@@ -250,6 +257,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--verify", action="store_true",
                          help="statically check the optimized plan before "
                               "executing (repro.analysis plan checker)")
+    p_query.add_argument("--batch-size", type=int, default=None,
+                         help="run Filter/Fetch through the vectorized batch "
+                              "substrate in blocks of this size (>1; 0 forces "
+                              "the scalar path, default scalar)")
+    p_query.add_argument("--no-center-cache", action="store_true",
+                         help="disable the cross-query center/subcluster "
+                              "cache (batch mode only; ablation)")
     p_query.add_argument("--head", type=int, default=20,
                          help="rows to print without --all (default 20)")
     p_query.add_argument("--all", action="store_true", help="print every row")

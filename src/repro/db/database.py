@@ -107,6 +107,9 @@ class GraphDatabase:
         self.catalog = Catalog(graph, self.labeling)
         self.code_cache = CodeCache(enabled=code_cache_enabled)
         self._node_labels = list(graph.labels())
+        #: bumped whenever the join index is (re)built; cross-query
+        #: caches (the engine's CenterCache) key their validity on it
+        self.index_generation = 0
         self.pool.flush_all()
 
     # ------------------------------------------------------------------
@@ -168,6 +171,19 @@ class GraphDatabase:
         self.code_cache.put(node, side, code)
         return code
 
+    def out_code_array(self, node: int):
+        """``out(x)`` as a sorted ``array('q')`` (the batch kernels' view).
+
+        Served from the labeling's lazily-built array cache; the stored
+        base-table codes were loaded from the same labeling, so both
+        representations are definitionally equal.
+        """
+        return self.labeling.out_code_array(node)
+
+    def in_code_array(self, node: int):
+        """``in(x)`` as a sorted ``array('q')`` (the batch kernels' view)."""
+        return self.labeling.in_code_array(node)
+
     def get_centers(self, node: int, x_label: str, y_label: str) -> FrozenSet[int]:
         """``getCenters(x, X, Y) = out(x) ∩ W(X, Y)`` (Eq. 6)."""
         wxy = self.join_index.centers(x_label, y_label)
@@ -202,6 +218,20 @@ class GraphDatabase:
             "pages": self.pool.disk.page_count,
         }
         return report
+
+    # ------------------------------------------------------------------
+    def rebuild_join_index(self) -> None:
+        """Rebuild the cluster index, W-table and catalog from the current
+        graph + labeling, bumping ``index_generation``.
+
+        The generation bump is the invalidation signal for cross-query
+        caches: anything keyed on centers or subclusters (the engine's
+        CenterCache) must drop its entries when this runs.
+        """
+        self.join_index = ClusterRJoinIndex(self.pool, self.graph, self.labeling)
+        self.catalog = Catalog(self.graph, self.labeling)
+        self.index_generation += 1
+        self.pool.flush_all()
 
     # ------------------------------------------------------------------
     def reset_counters(self) -> None:

@@ -17,6 +17,7 @@ engine, so every probe is charged buffer-pool I/O.
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict, List, Tuple
 
 from ..graph.digraph import DiGraph
@@ -25,6 +26,8 @@ from ..storage.bptree import BPlusTree
 from ..storage.buffer import BufferPool
 
 _EMPTY: Tuple[int, ...] = ()
+_EMPTY_SUBCLUSTERS: Tuple[Dict[str, Tuple[int, ...]], Dict[str, Tuple[int, ...]]] = ({}, {})
+_EMPTY_ARRAY: "array[int]" = array("q")
 
 
 class ClusterRJoinIndex:
@@ -41,6 +44,9 @@ class ClusterRJoinIndex:
         self._tree = BPlusTree(pool, name="rjoin-index", fanout=fanout, unique=True)
         self._wtable = BPlusTree(pool, name="w-table", fanout=fanout, unique=True)
         self._center_count = 0
+        # memo of W(X, Y) as sorted array('q') — the batch kernels'
+        # representation; the W-table is immutable once built
+        self._centers_arrays: Dict[Tuple[str, str], "array[int]"] = {}
         self._build(graph, labeling)
 
     # ------------------------------------------------------------------
@@ -56,16 +62,19 @@ class ClusterRJoinIndex:
             t_sub: Dict[str, List[int]] = {}
             for node in t_cluster:
                 t_sub.setdefault(graph.label(node), []).append(node)
+            # subclusters are stored as *sorted* tuples — a kernel
+            # precondition (sorted-array intersections/unions), made
+            # explicit here rather than inherited from clusters()'s order
             leaf_value = (
-                {label: tuple(nodes) for label, nodes in f_sub.items()},
-                {label: tuple(nodes) for label, nodes in t_sub.items()},
+                {label: tuple(sorted(nodes)) for label, nodes in f_sub.items()},
+                {label: tuple(sorted(nodes)) for label, nodes in t_sub.items()},
             )
             self._tree.insert(center, leaf_value)
             for x_label in f_sub:
                 for y_label in t_sub:
                     wtable_accumulator.setdefault((x_label, y_label), []).append(center)
         for pair, centers in sorted(wtable_accumulator.items()):
-            self._wtable.insert(pair, tuple(centers))
+            self._wtable.insert(pair, tuple(sorted(centers)))
 
     # ------------------------------------------------------------------
     # paper API
@@ -73,6 +82,21 @@ class ClusterRJoinIndex:
     def centers(self, x_label: str, y_label: str) -> Tuple[int, ...]:
         """``W(X, Y)``: centers joining X-labeled to Y-labeled nodes."""
         return self._wtable.search((x_label, y_label), _EMPTY)
+
+    def centers_array(self, x_label: str, y_label: str) -> "array[int]":
+        """``W(X, Y)`` as a sorted ``array('q')``, memoized per pair.
+
+        The batch kernels intersect graph codes against this array; the
+        B+-tree is probed once per pair per process, not once per row.
+        """
+        pair = (x_label, y_label)
+        cached = self._centers_arrays.get(pair)
+        if cached is None:
+            centers = self.centers(x_label, y_label)
+            cached = self._centers_arrays[pair] = (
+                array("q", centers) if centers else _EMPTY_ARRAY
+            )
+        return cached
 
     def get_f(self, center: int, label: str) -> Tuple[int, ...]:
         """``getF(w, X)``: the X-labeled F-subcluster of *center*."""
@@ -87,6 +111,22 @@ class ClusterRJoinIndex:
         if leaf is None:
             return _EMPTY
         return leaf[1].get(label, _EMPTY)
+
+    def get_ft(
+        self, center: int
+    ) -> Tuple[Dict[str, Tuple[int, ...]], Dict[str, Tuple[int, ...]]]:
+        """Both labeled subcluster maps of *center* from ONE tree probe.
+
+        HPSJ reads an F- and a T-subcluster for every center of
+        ``W(X, Y)``; calling :meth:`get_f` then :meth:`get_t` descends
+        the B+-tree twice for the same leaf.  This combined accessor
+        returns the ``({X: F-subcluster}, {Y: T-subcluster})`` pair of
+        maps with a single descent, halving the per-center probe cost.
+        """
+        leaf = self._tree.search(center)
+        if leaf is None:
+            return _EMPTY_SUBCLUSTERS
+        return leaf
 
     # ------------------------------------------------------------------
     # inspection API (used by repro.analysis.indexaudit and the tests)

@@ -31,9 +31,10 @@ an oracle on small graphs, but costs O(n^2) space.
 
 from __future__ import annotations
 
+from array import array
 from collections import deque
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..graph.condensation import condense
 from ..graph.digraph import DiGraph
@@ -51,6 +52,17 @@ class TwoHopLabeling:
 
     in_codes: List[FrozenSet[int]]
     out_codes: List[FrozenSet[int]]
+    # lazily-built caches (derived, so excluded from equality/repr):
+    # sorted-array codes for the batch kernels and the centers() result
+    _in_arrays: List[Optional["array[int]"]] = field(
+        default_factory=list, init=False, repr=False, compare=False
+    )
+    _out_arrays: List[Optional["array[int]"]] = field(
+        default_factory=list, init=False, repr=False, compare=False
+    )
+    _centers: Optional[FrozenSet[int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def reaches(self, u: int, v: int) -> bool:
         """``u ~> v`` iff ``out(u) ∩ in(v) ≠ ∅`` (paper Example 3.1)."""
@@ -61,13 +73,43 @@ class TwoHopLabeling:
     def node_count(self) -> int:
         return len(self.in_codes)
 
-    def centers(self) -> Set[int]:
-        """All nodes that appear as a center in some other node's code."""
-        found: Set[int] = set()
-        for v in range(self.node_count):
-            found.update(self.in_codes[v])
-            found.update(self.out_codes[v])
-        return found
+    def centers(self) -> FrozenSet[int]:
+        """All nodes that appear as a center in some other node's code.
+
+        Computed once and cached on the instance — the codes are immutable
+        after construction, and callers (the index auditor, catalog
+        consumers) used to pay a full scan of every code per call.
+        """
+        if self._centers is None:
+            found: Set[int] = set()
+            for v in range(self.node_count):
+                found.update(self.in_codes[v])
+                found.update(self.out_codes[v])
+            self._centers = frozenset(found)
+        return self._centers
+
+    # ------------------------------------------------------------------
+    # sorted-array views (the batch kernels' representation)
+    # ------------------------------------------------------------------
+    def in_code_array(self, node: int) -> "array[int]":
+        """``in(x)`` as a sorted ``array('q')``, built lazily and cached."""
+        arrays = self._in_arrays
+        if not arrays:
+            arrays.extend([None] * self.node_count)
+        code = arrays[node]
+        if code is None:
+            code = arrays[node] = array("q", sorted(self.in_codes[node]))
+        return code
+
+    def out_code_array(self, node: int) -> "array[int]":
+        """``out(x)`` as a sorted ``array('q')``, built lazily and cached."""
+        arrays = self._out_arrays
+        if not arrays:
+            arrays.extend([None] * self.node_count)
+        code = arrays[node]
+        if code is None:
+            code = arrays[node] = array("q", sorted(self.out_codes[node]))
+        return code
 
     def cover_size(self) -> int:
         """Total 2-hop cover size ``|H|`` = Σ_w (|U_w| + |V_w|).

@@ -14,6 +14,10 @@ from .algebra import (
 from .costmodel import CostModel, CostParams
 from .engine import GraphEngine
 from .physical import (
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_CACHE_BYTES,
+    CacheStats,
+    CenterCache,
     OperatorMetrics,
     QueryResult,
     RunMetrics,
@@ -39,6 +43,10 @@ __all__ = [
     "CostModel",
     "CostParams",
     "GraphEngine",
+    "CacheStats",
+    "CenterCache",
+    "DEFAULT_BATCH_SIZE",
+    "DEFAULT_CACHE_BYTES",
     "OperatorMetrics",
     "QueryResult",
     "RunMetrics",

@@ -26,6 +26,7 @@ from ..graph.digraph import DiGraph
 from ..labeling.twohop import TwoHopLabeling
 from ..storage.buffer import DEFAULT_BUFFER_BYTES
 from .costmodel import CostModel, CostParams
+from .physical.cache import DEFAULT_CACHE_BYTES, CenterCache
 from .physical.drivers import (
     QueryResult,
     StreamingResult,
@@ -62,6 +63,8 @@ class GraphEngine:
         buffer_bytes: int = DEFAULT_BUFFER_BYTES,
         cost_params: Optional[CostParams] = None,
         code_cache_enabled: bool = True,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        batch_size: Optional[int] = None,
     ) -> None:
         self.db = GraphDatabase(
             graph,
@@ -70,12 +73,20 @@ class GraphEngine:
             code_cache_enabled=code_cache_enabled,
         )
         self.cost_params = cost_params or CostParams()
+        # cross-query LRU of centers/subclusters; cache_bytes <= 0
+        # keeps the object (counters still track misses) but stores nothing
+        self._center_cache = CenterCache(capacity_bytes=cache_bytes)
+        #: default block size for :meth:`match`/:meth:`match_iter`;
+        #: ``None`` keeps the scalar tuple-at-a-time oracle
+        self.batch_size = batch_size
 
     @classmethod
     def from_database(
         cls,
         db: GraphDatabase,
         cost_params: Optional[CostParams] = None,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        batch_size: Optional[int] = None,
     ) -> "GraphEngine":
         """Wrap an existing (e.g. reloaded) database without rebuilding it.
 
@@ -85,7 +96,21 @@ class GraphEngine:
         engine = cls.__new__(cls)
         engine.db = db
         engine.cost_params = cost_params or CostParams()
+        engine._center_cache = CenterCache(capacity_bytes=cache_bytes)
+        engine.batch_size = batch_size
         return engine
+
+    #: class-level fallback so hand-wrapped engines (``__new__`` + attribute
+    #: assignment, as older callers do) default to the scalar path
+    batch_size: Optional[int] = None
+
+    @property
+    def center_cache(self) -> CenterCache:
+        """The engine-owned cross-query :class:`CenterCache` (lazy)."""
+        cache = getattr(self, "_center_cache", None)
+        if cache is None:
+            cache = self._center_cache = CenterCache()
+        return cache
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -132,6 +157,7 @@ class GraphEngine:
         reset_counters: bool = True,
         row_limit: Optional[int] = None,
         verify: bool = False,
+        batch_size: Optional[int] = None,
     ) -> QueryResult:
         """Optimize and execute a pattern; returns matches + metrics.
 
@@ -142,12 +168,22 @@ class GraphEngine:
         ``verify`` statically checks the optimized plan against this
         database (:func:`repro.analysis.check_plan`) before executing and
         raises :class:`repro.analysis.PlanVerificationError` on violations.
+        ``batch_size`` overrides the engine default for this query: a
+        value > 1 runs the vectorized Filter/Fetch substrate (results
+        identical to scalar), ``0`` forces the scalar path, ``None``
+        inherits the engine's ``batch_size``.
         """
         optimized = self.plan(pattern, optimizer=optimizer)
         if reset_counters:
             self.db.reset_counters()
+        effective = self.batch_size if batch_size is None else batch_size
         return execute_plan(
-            self.db, optimized.plan, row_limit=row_limit, verify=verify
+            self.db,
+            optimized.plan,
+            row_limit=row_limit,
+            verify=verify,
+            batch_size=effective,
+            center_cache=self.center_cache,
         )
 
     def match_iter(
@@ -157,6 +193,7 @@ class GraphEngine:
         limit: Optional[int] = None,
         row_limit: Optional[int] = None,
         verify: bool = False,
+        batch_size: Optional[int] = None,
     ) -> StreamingResult:
         """Stream matches lazily through the pipelined executor.
 
@@ -167,11 +204,14 @@ class GraphEngine:
         ``verify`` behave exactly as in :meth:`match`; the returned
         :class:`~repro.query.StreamingResult` carries a ``metrics``
         attribute with the same per-operator counters as a full run.
+        ``batch_size`` behaves exactly as in :meth:`match`.
         """
         optimized = self.plan(pattern, optimizer=optimizer)
+        effective = self.batch_size if batch_size is None else batch_size
         return execute_plan_streaming(
             self.db, optimized.plan, limit=limit, row_limit=row_limit,
-            verify=verify,
+            verify=verify, batch_size=effective,
+            center_cache=self.center_cache,
         )
 
     def explain(self, pattern: PatternLike, optimizer: str = "dps") -> str:

@@ -13,7 +13,14 @@ points are :func:`repro.query.execute_plan`,
 :class:`repro.GraphEngine`.
 """
 
-from .context import ExecutionContext, OperatorMetrics, RowLayout
+from .cache import DEFAULT_CACHE_BYTES, CenterCache
+from .context import (
+    DEFAULT_BATCH_SIZE,
+    CacheStats,
+    ExecutionContext,
+    OperatorMetrics,
+    RowLayout,
+)
 from .drivers import (
     QueryResult,
     RunMetrics,
@@ -33,6 +40,10 @@ from .operators import (
 )
 
 __all__ = [
+    "CacheStats",
+    "CenterCache",
+    "DEFAULT_BATCH_SIZE",
+    "DEFAULT_CACHE_BYTES",
     "ExecutionContext",
     "OperatorMetrics",
     "RowLayout",

@@ -1,0 +1,164 @@
+"""CenterCache — a size-bounded LRU shared across queries.
+
+The scalar hot path recomputes two things per query that are pure
+functions of the offline structures:
+
+* ``getCenters(x, X, Y)`` (Eq. 6) — the W-probe plus a set intersection,
+  repeated for every distinct scanned node of every Filter;
+* ``getF(w, X)`` / ``getT(w, Y)`` (Eqs. 7-9) — the per-center labeled
+  subcluster, re-fetched from the B+-tree by every Fetch that meets the
+  center again.
+
+Both are invariant until the index is rebuilt, so the engine owns one
+:class:`CenterCache` and threads it through every execution context: a
+single LRU keyed by ``(node, pair_id, side)`` for center sets and
+``(center, label, side)`` for subclusters, bounded by an approximate
+byte budget (``GraphEngine(cache_bytes=...)``).
+
+Hits/misses/evictions are counted here and surfaced per run as
+:class:`~repro.query.physical.drivers.RunMetrics.center_cache` deltas.
+Invalidation is generation-based: :class:`~repro.db.database.GraphDatabase`
+bumps ``index_generation`` whenever the join index is rebuilt, and
+:meth:`CenterCache.sync` (called by both drivers before any row flows)
+clears the cache when the generation it was filled under is stale.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from ..algebra import Side
+
+#: rough per-entry overhead (key tuple, dict slot, value tuple header)
+_ENTRY_OVERHEAD_BYTES = 96
+#: bytes charged per int held in a cached tuple
+_INT_BYTES = 8
+
+#: default budget for GraphEngine-owned caches (~4 MiB)
+DEFAULT_CACHE_BYTES = 4 << 20
+
+_CENTERS_TAG = 0
+_SUBCLUSTER_TAG = 1
+
+
+class CenterCache:
+    """LRU of center sets and subclusters, bounded by estimated bytes.
+
+    ``capacity_bytes <= 0`` disables storage entirely (every ``get`` is a
+    miss and ``put`` is a no-op) while keeping the counters alive, so the
+    ``--no-center-cache`` ablation measures the uncached hot path under
+    identical instrumentation.
+    """
+
+    def __init__(self, capacity_bytes: int = DEFAULT_CACHE_BYTES) -> None:
+        self.capacity_bytes = capacity_bytes
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._bytes = 0
+        self._generation: Optional[int] = None
+        self._store: "OrderedDict[tuple, Tuple[int, ...]]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def sync(self, generation: int) -> None:
+        """Bind the cache to an index generation, invalidating on change."""
+        if self._generation != generation:
+            if self._generation is not None and self._store:
+                self.invalidate()
+            self._generation = generation
+
+    def invalidate(self) -> None:
+        """Drop every entry (the index was rebuilt); counters survive."""
+        self._store.clear()
+        self._bytes = 0
+
+    def clear(self) -> None:
+        """Full reset: entries *and* counters (tests, ablations)."""
+        self.invalidate()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # the two memoized functions
+    # ------------------------------------------------------------------
+    def get_centers(
+        self, node: int, pair_id: int, side: Side
+    ) -> Optional[Tuple[int, ...]]:
+        """Cached ``getCenters`` result for ``(node, X, Y)``, or None."""
+        return self._get((_CENTERS_TAG, node, pair_id, side is Side.OUT))
+
+    def put_centers(
+        self, node: int, pair_id: int, side: Side, centers: Tuple[int, ...]
+    ) -> None:
+        self._put((_CENTERS_TAG, node, pair_id, side is Side.OUT), centers)
+
+    def get_subcluster(
+        self, center: int, label: str, side: Side
+    ) -> Optional[Tuple[int, ...]]:
+        """Cached ``getT(w, Y)`` / ``getF(w, X)`` subcluster, or None."""
+        return self._get((_SUBCLUSTER_TAG, center, label, side is Side.OUT))
+
+    def put_subcluster(
+        self, center: int, label: str, side: Side, nodes: Tuple[int, ...]
+    ) -> None:
+        self._put((_SUBCLUSTER_TAG, center, label, side is Side.OUT), nodes)
+
+    # ------------------------------------------------------------------
+    # LRU mechanics
+    # ------------------------------------------------------------------
+    def _get(self, key: tuple) -> Optional[Tuple[int, ...]]:
+        value = self._store.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._store.move_to_end(key)  # a hit makes the entry youngest
+        self.hits += 1
+        return value
+
+    def _put(self, key: tuple, value: Tuple[int, ...]) -> None:
+        if self.capacity_bytes <= 0 or key in self._store:
+            return
+        cost = _ENTRY_OVERHEAD_BYTES + _INT_BYTES * len(value)
+        if cost > self.capacity_bytes:
+            return  # a single oversized entry would evict everything
+        self._store[key] = value
+        self._bytes += cost
+        while self._bytes > self.capacity_bytes and self._store:
+            _, evicted = self._store.popitem(last=False)
+            self._bytes -= _ENTRY_OVERHEAD_BYTES + _INT_BYTES * len(evicted)
+            self.evictions += 1
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def entry_count(self) -> int:
+        return len(self._store)
+
+    @property
+    def estimated_bytes(self) -> int:
+        return self._bytes
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> Tuple[int, int, int]:
+        """(hits, misses, evictions) — for per-run delta accounting."""
+        return (self.hits, self.misses, self.evictions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CenterCache(entries={self.entry_count}, "
+            f"bytes~{self._bytes}/{self.capacity_bytes}, "
+            f"hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions})"
+        )
+
+
+__all__ = ["CenterCache", "DEFAULT_CACHE_BYTES"]

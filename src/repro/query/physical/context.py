@@ -22,8 +22,12 @@ from typing import Optional, Sequence, Tuple
 from ...db.database import GraphDatabase
 from ..algebra import FilterKey
 from ..pattern import GraphPattern, PatternError
+from .cache import CenterCache
 
 _name_counter = itertools.count()
+
+#: default rows-per-block when a caller enables batching without a size
+DEFAULT_BATCH_SIZE = 1024
 
 
 def temp_name(tag: str) -> str:
@@ -86,14 +90,41 @@ class RowLayout:
 
 
 @dataclass
+class CacheStats:
+    """Per-run CenterCache activity (deltas over one plan execution)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
 class ExecutionContext:
     """Everything the operators need from the outside world.
 
     ``row_limit`` is the execution guard, not a LIMIT clause: any
     operator whose output outgrows it raises
     :class:`~repro.query.algebra.RowLimitExceeded`, under either driver.
+
+    ``batch_size`` selects the vectorized substrate: ``None`` (default)
+    runs the scalar tuple-at-a-time oracle; a value > 1 makes the Filter
+    and Fetch operators process rows in blocks of that size through the
+    sorted-array kernels (:mod:`repro.query.physical.kernels`).
+    ``center_cache`` is the engine-owned cross-query LRU consulted by the
+    batch kernels for center sets and subclusters.
     """
 
     db: GraphDatabase
     pattern: GraphPattern
     row_limit: Optional[int] = None
+    batch_size: Optional[int] = None
+    center_cache: Optional[CenterCache] = None
+
+    @property
+    def batched(self) -> bool:
+        return self.batch_size is not None and self.batch_size > 1

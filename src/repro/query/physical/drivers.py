@@ -32,7 +32,8 @@ from typing import Iterator, List, Optional, Tuple
 from ...db.database import GraphDatabase
 from ...storage.stats import IOStats
 from ..algebra import Plan, TemporalTable
-from .context import ExecutionContext, OperatorMetrics, temp_name
+from .cache import CenterCache
+from .context import CacheStats, ExecutionContext, OperatorMetrics, temp_name
 from .operators import Row, build_pipeline
 
 
@@ -45,6 +46,8 @@ class RunMetrics:
     operators: List[OperatorMetrics] = field(default_factory=list)
     peak_temporal_rows: int = 0
     result_rows: int = 0
+    #: CenterCache activity during this run (None when no cache was used)
+    center_cache: Optional[CacheStats] = None
 
     @property
     def physical_io(self) -> int:
@@ -84,16 +87,44 @@ def _verify_plan(plan: Plan, db: GraphDatabase) -> None:
 
 
 def _prepare(
-    db: GraphDatabase, plan: Plan, row_limit: Optional[int], verify: bool
+    db: GraphDatabase,
+    plan: Plan,
+    row_limit: Optional[int],
+    verify: bool,
+    batch_size: Optional[int] = None,
+    center_cache: Optional[CenterCache] = None,
 ):
     """Shared driver preamble: verification, validation, pipeline build."""
     if verify:
         _verify_plan(plan, db)
     plan.validate()
-    ctx = ExecutionContext(db=db, pattern=plan.pattern, row_limit=row_limit)
+    if center_cache is not None:
+        # drop stale entries if the join index was rebuilt since last use
+        center_cache.sync(db.index_generation)
+    ctx = ExecutionContext(
+        db=db,
+        pattern=plan.pattern,
+        row_limit=row_limit,
+        batch_size=batch_size,
+        center_cache=center_cache,
+    )
     operators, project = build_pipeline(ctx, plan)
     metrics = RunMetrics(operators=[op.metrics for op in operators])
     return operators, project, metrics
+
+
+def _cache_delta(
+    cache: Optional[CenterCache], before: Optional[Tuple[int, int, int]]
+) -> Optional[CacheStats]:
+    """CacheStats covering one run, from counter snapshots."""
+    if cache is None or before is None:
+        return None
+    hits, misses, evictions = cache.snapshot()
+    return CacheStats(
+        hits=hits - before[0],
+        misses=misses - before[1],
+        evictions=evictions - before[2],
+    )
 
 
 # ----------------------------------------------------------------------
@@ -104,6 +135,8 @@ def execute_plan(
     plan: Plan,
     row_limit: Optional[int] = None,
     verify: bool = False,
+    batch_size: Optional[int] = None,
+    center_cache: Optional[CenterCache] = None,
 ) -> QueryResult:
     """Run *plan*, materializing every intermediate; project the result.
 
@@ -115,8 +148,16 @@ def execute_plan(
     against *db*) before interpretation and raises
     :class:`repro.analysis.PlanVerificationError` listing every violation
     — the belt-and-braces mode for exercising new optimizers.
+
+    ``batch_size`` > 1 runs the Filter/Fetch operators block-at-a-time
+    through the vectorized kernels; ``center_cache`` plugs in the
+    engine's cross-query :class:`CenterCache` (consulted only in batch
+    mode).  Results are identical to the scalar path row for row.
     """
-    operators, project, metrics = _prepare(db, plan, row_limit, verify)
+    operators, project, metrics = _prepare(
+        db, plan, row_limit, verify, batch_size=batch_size, center_cache=center_cache
+    )
+    cache_before = center_cache.snapshot() if center_cache is not None else None
     io_before = db.stats.snapshot()
     started = time.perf_counter()
 
@@ -134,6 +175,7 @@ def execute_plan(
     metrics.elapsed_seconds = time.perf_counter() - started
     metrics.io = db.stats.delta_since(io_before)
     metrics.result_rows = len(rows)
+    metrics.center_cache = _cache_delta(center_cache, cache_before)
     return QueryResult(
         columns=tuple(plan.pattern.variables), rows=rows, plan=plan, metrics=metrics
     )
@@ -152,11 +194,19 @@ class StreamingResult:
     metrics cover only the work actually done.
     """
 
-    def __init__(self, rows: Iterator[Row], metrics: RunMetrics, db: GraphDatabase):
+    def __init__(
+        self,
+        rows: Iterator[Row],
+        metrics: RunMetrics,
+        db: GraphDatabase,
+        center_cache: Optional[CenterCache] = None,
+    ):
         self._rows = rows
         self._db = db
         self._io_before: Optional[IOStats] = None
         self._started: Optional[float] = None
+        self._center_cache = center_cache
+        self._cache_before: Optional[Tuple[int, int, int]] = None
         self.metrics = metrics
 
     def __iter__(self) -> "StreamingResult":
@@ -166,6 +216,8 @@ class StreamingResult:
         if self._started is None:
             self._started = time.perf_counter()
             self._io_before = self._db.stats.snapshot()
+            if self._center_cache is not None:
+                self._cache_before = self._center_cache.snapshot()
         try:
             row = next(self._rows)
         except StopIteration:
@@ -182,6 +234,7 @@ class StreamingResult:
         metrics.peak_temporal_rows = max(
             (op.rows_out for op in metrics.operators), default=0
         )
+        metrics.center_cache = _cache_delta(self._center_cache, self._cache_before)
 
 
 def execute_plan_streaming(
@@ -190,6 +243,8 @@ def execute_plan_streaming(
     limit: Optional[int] = None,
     row_limit: Optional[int] = None,
     verify: bool = False,
+    batch_size: Optional[int] = None,
+    center_cache: Optional[CenterCache] = None,
 ) -> StreamingResult:
     """Yield projected result rows lazily; stop early at *limit*.
 
@@ -197,9 +252,12 @@ def execute_plan_streaming(
     produced; ``row_limit`` guards every operator's output exactly as in
     :func:`execute_plan`, and the returned :class:`StreamingResult`
     carries per-operator metrics identical to the materializing driver's
-    once the stream is fully drained.
+    once the stream is fully drained.  ``batch_size``/``center_cache``
+    select the vectorized substrate exactly as in :func:`execute_plan`.
     """
-    operators, project, metrics = _prepare(db, plan, row_limit, verify)
+    operators, project, metrics = _prepare(
+        db, plan, row_limit, verify, batch_size=batch_size, center_cache=center_cache
+    )
 
     source: Optional[Iterator[Row]] = None
     for op in operators:
@@ -216,4 +274,4 @@ def execute_plan_streaming(
             if limit is not None and emitted >= limit:
                 return
 
-    return StreamingResult(bounded(), metrics, db)
+    return StreamingResult(bounded(), metrics, db, center_cache=center_cache)

@@ -1,0 +1,212 @@
+"""Vectorized batch kernels for the R-join hot path (Eqs. 6-9).
+
+The scalar Filter/Fetch operators pay tuple-at-a-time Python overhead:
+every row builds frozensets, intersects them, and re-probes the B+-tree.
+These kernels are the batch-oriented alternative the join literature
+prescribes — tight set intersections over *sorted integer arrays*
+(``array('q')``), processed a block of rows at a time:
+
+* :func:`intersect` — sorted-array intersection, choosing between a
+  linear merge and galloping (exponential/binary search) probes by the
+  size ratio of the inputs.  This is the Eq. 6 kernel:
+  ``getCenters(x, X, Y) = out(x) ∩ W(X, Y)`` with ``out(x)`` small and
+  ``W(X, Y)`` potentially huge, exactly the asymmetric case galloping
+  wins.
+* :func:`batch_get_centers` — Eq. 6 over a block of node ids: one
+  W-array load amortized over the whole block, one intersection per
+  distinct node.
+* :func:`gather_union` — the Fetch side (Eqs. 7-9): the deduplicated
+  union of per-center subclusters, i.e. the batched Cartesian fetch for
+  one centers column value, computed once per distinct value instead of
+  once per row.
+* :func:`intern_label_pair` — stable small-int ids for ``(X, Y)`` label
+  pairs so cache keys compare by int instead of by string pair.
+
+Every kernel follows ``set`` semantics (duplicates in the inputs are
+tolerated and collapse in the output) and is property-tested against the
+builtin ``set`` type in ``tests/test_kernels.py``.  The scalar operators
+remain the semantic oracle; the kernels must agree with them bit for bit
+on result sets and logical counters (``tests/test_batch_differential.py``).
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+#: typecode for all kernel arrays: signed 64-bit node/center ids
+ARRAY_TYPECODE = "q"
+
+#: switch from linear merge to galloping when one input is this many
+#: times longer than the other (the classic timsort/Lucene threshold zone)
+GALLOP_RATIO = 8
+
+_EMPTY: "array[int]" = array(ARRAY_TYPECODE)
+
+
+def as_sorted_array(values: Iterable[int]) -> "array[int]":
+    """Sorted, deduplicated ``array('q')`` from any iterable of ints."""
+    return array(ARRAY_TYPECODE, sorted(set(values)))
+
+
+# ----------------------------------------------------------------------
+# sorted-array intersection (the Eq. 6 kernel)
+# ----------------------------------------------------------------------
+def intersect_merge(a: Sequence[int], b: Sequence[int]) -> "array[int]":
+    """Linear two-pointer merge intersection of two sorted sequences."""
+    out = array(ARRAY_TYPECODE)
+    append = out.append
+    i, j = 0, 0
+    len_a, len_b = len(a), len(b)
+    while i < len_a and j < len_b:
+        x, y = a[i], b[j]
+        if x < y:
+            i += 1
+        elif y < x:
+            j += 1
+        else:
+            if not out or out[-1] != x:  # collapse duplicate inputs
+                append(x)
+            i += 1
+            j += 1
+    return out
+
+
+def intersect_gallop(small: Sequence[int], large: Sequence[int]) -> "array[int]":
+    """Intersection by galloping the smaller input into the larger one.
+
+    For each element of *small*, binary-search *large* from a moving
+    lower bound — O(|small| · log |large|), the winning strategy when
+    ``|large| >> |small|`` (a node's graph code against a W-array).
+    """
+    out = array(ARRAY_TYPECODE)
+    append = out.append
+    lo = 0
+    hi = len(large)
+    for x in small:
+        lo = bisect_left(large, x, lo, hi)
+        if lo == hi:
+            break
+        if large[lo] == x:
+            if not out or out[-1] != x:
+                append(x)
+            lo += 1
+    return out
+
+
+def intersect(a: Sequence[int], b: Sequence[int]) -> "array[int]":
+    """Set intersection of two sorted int sequences, as ``array('q')``.
+
+    Dispatches between :func:`intersect_merge` and
+    :func:`intersect_gallop` on the size ratio (``GALLOP_RATIO``).
+    """
+    if not a or not b:
+        return _EMPTY
+    len_a, len_b = len(a), len(b)
+    if len_a > len_b:
+        a, b, len_a, len_b = b, a, len_b, len_a
+    if len_b >= len_a * GALLOP_RATIO:
+        return intersect_gallop(a, b)
+    return intersect_merge(a, b)
+
+
+# ----------------------------------------------------------------------
+# batched getCenters (Eq. 6 over a block of node ids)
+# ----------------------------------------------------------------------
+def batch_get_centers(
+    nodes: Sequence[int],
+    codes: Sequence[Sequence[int]],
+    w_array: Sequence[int],
+) -> List[Tuple[int, ...]]:
+    """``getCenters`` for a block: intersect each node's code with W(X, Y).
+
+    *codes* is positionally parallel to *nodes* (the caller resolves each
+    node's sorted in/out graph code); the result list is parallel too,
+    one sorted tuple of centers per node (possibly empty).
+    """
+    if not w_array:
+        return [() for _ in nodes]
+    return [tuple(intersect(code, w_array)) for code in codes]
+
+
+# ----------------------------------------------------------------------
+# batched Cartesian fetch (Eqs. 7-9)
+# ----------------------------------------------------------------------
+def gather_union(
+    partner_lists: Sequence[Sequence[int]],
+) -> Tuple[Tuple[int, ...], int]:
+    """Deduplicated union of per-center subclusters, plus the raw volume.
+
+    Returns ``(partners, total)`` where *partners* preserves first-seen
+    order across the input lists (matching the scalar Fetch's dedup
+    order) and *total* is the pre-dedup node count — the quantity the
+    scalar path charges into ``nodes_fetched``.
+    """
+    total = 0
+    if len(partner_lists) == 1:
+        only = partner_lists[0]
+        total = len(only)
+        # single center: subclusters are stored deduplicated and sorted
+        return tuple(only), total
+    seen: set = set()
+    partners: List[int] = []
+    append = partners.append
+    add = seen.add
+    for nodes in partner_lists:
+        total += len(nodes)
+        for node in nodes:
+            if node not in seen:
+                add(node)
+                append(node)
+    return tuple(partners), total
+
+
+# ----------------------------------------------------------------------
+# label-pair interning
+# ----------------------------------------------------------------------
+_PAIR_IDS: Dict[Tuple[str, str], int] = {}
+
+
+def intern_label_pair(x_label: str, y_label: str) -> int:
+    """Stable process-wide small-int id for an ``(X, Y)`` label pair.
+
+    Cache keys built from these ids compare by a single int instead of
+    two strings; ids are only ever assigned, never recycled, so a pair's
+    id is stable for the life of the process.
+    """
+    pair = (x_label, y_label)
+    pair_id = _PAIR_IDS.get(pair)
+    if pair_id is None:
+        pair_id = _PAIR_IDS[pair] = len(_PAIR_IDS)
+    return pair_id
+
+
+def iter_blocks(
+    source: Iterable, block_size: int
+) -> Iterable[list]:
+    """Chunk any iterable into lists of at most *block_size* items."""
+    block: list = []
+    append = block.append
+    for item in source:
+        append(item)
+        if len(block) >= block_size:
+            yield block
+            block = []
+            append = block.append
+    if block:
+        yield block
+
+
+__all__ = [
+    "ARRAY_TYPECODE",
+    "GALLOP_RATIO",
+    "as_sorted_array",
+    "batch_get_centers",
+    "gather_union",
+    "intern_label_pair",
+    "intersect",
+    "intersect_gallop",
+    "intersect_merge",
+    "iter_blocks",
+]

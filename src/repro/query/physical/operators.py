@@ -48,6 +48,7 @@ from ..algebra import (
     Side,
 )
 from ..pattern import Condition
+from . import kernels
 from .context import ExecutionContext, OperatorMetrics, RowLayout
 
 Row = Tuple[int, ...]
@@ -160,8 +161,11 @@ class SeedJoinOp(PhysicalOperator):
         seen = self._seen
         for center in db.join_index.centers(self.x_label, self.y_label):
             metrics.centers_probed += 1
-            f_nodes = db.join_index.get_f(center, self.x_label)
-            t_nodes = db.join_index.get_t(center, self.y_label)
+            # one combined probe: both subcluster maps live in the same
+            # leaf, so get_f + get_t would descend the tree twice for it
+            f_sub, t_sub = db.join_index.get_ft(center)
+            f_nodes = f_sub.get(self.x_label, ())
+            t_nodes = t_sub.get(self.y_label, ())
             metrics.nodes_fetched += len(f_nodes) + len(t_nodes)
             for x in f_nodes:
                 for y in t_nodes:
@@ -218,13 +222,29 @@ class SharedFilterOp(PhysicalOperator):
             (ctx.pattern.condition_labels(cond), side) for cond, side in keys
         ]
         self._memo: Dict[int, Optional[Tuple[Tuple[int, ...], ...]]] = {}
+        # batch-mode resources, resolved in open(): one (W-array,
+        # pair-id, code-array accessor, side) per key
+        self._batch_keys: List[tuple] = []
 
     def open(self) -> None:
         super().open()
         self._memo = {}
+        self._batch_keys = []
+        if self.ctx.batched:
+            db = self.ctx.db
+            for (x_label, y_label), side in self.label_pairs:
+                self._batch_keys.append(
+                    (
+                        db.join_index.centers_array(x_label, y_label),
+                        kernels.intern_label_pair(x_label, y_label),
+                        db.out_code_array if side is Side.OUT else db.in_code_array,
+                        side,
+                    )
+                )
 
     def close(self) -> None:
         self._memo = {}
+        self._batch_keys = []
 
     def _centers_for(self, node: int) -> Optional[Tuple[Tuple[int, ...], ...]]:
         """The row suffix for *node*, or None if any key prunes it."""
@@ -240,7 +260,36 @@ class SharedFilterOp(PhysicalOperator):
             center_sets.append(tuple(sorted(centers)))
         return tuple(center_sets)
 
+    def _centers_for_batched(self, node: int) -> Optional[Tuple[Tuple[int, ...], ...]]:
+        """Kernel path for one fresh node: gallop each code into W(X, Y).
+
+        Semantics match :meth:`_centers_for` exactly (sorted center
+        tuples, None on any empty key) — the codes and W-entries are the
+        same sets, only the representation (sorted arrays, interned pair
+        ids, cross-query cache) differs.
+        """
+        cache = self.ctx.center_cache
+        center_sets: List[Tuple[int, ...]] = []
+        for w_array, pair_id, code_array_of, side in self._batch_keys:
+            centers: Optional[Tuple[int, ...]] = None
+            if cache is not None:
+                centers = cache.get_centers(node, pair_id, side)
+            if centers is None:
+                if w_array:
+                    centers = tuple(kernels.intersect(code_array_of(node), w_array))
+                else:
+                    centers = ()
+                if cache is not None:
+                    cache.put_centers(node, pair_id, side, centers)
+            if not centers:
+                return None
+            center_sets.append(centers)
+        return tuple(center_sets)
+
     def _produce(self, source: Optional[Iterable[Row]]) -> Iterator[Row]:
+        if self.ctx.batched:
+            yield from self._produce_batched(source)
+            return
         memo = self._memo
         position = self.position
         for row in self._pull(source):
@@ -251,6 +300,25 @@ class SharedFilterOp(PhysicalOperator):
                 suffix = memo[node] = self._centers_for(node)
             if suffix is not None:
                 yield tuple(row) + suffix
+
+    def _produce_batched(self, source: Optional[Iterable[Row]]) -> Iterator[Row]:
+        """Block-at-a-time Filter: batched getCenters over distinct nodes.
+
+        Rows are emitted in input order, so the output is identical to
+        the scalar path's row for row, not just as a set.
+        """
+        memo = self._memo
+        position = self.position
+        centers_for = self._centers_for_batched
+        for block in kernels.iter_blocks(self._pull(source), self.ctx.batch_size):
+            # phase 1: resolve every distinct fresh node of the block
+            for node in {row[position] for row in block} - memo.keys():
+                memo[node] = centers_for(node)
+            # phase 2: emit survivors in input order
+            for row in block:
+                suffix = memo[row[position]]
+                if suffix is not None:
+                    yield tuple(row) + suffix
 
 
 class FetchOp(PhysicalOperator):
@@ -297,37 +365,87 @@ class FetchOp(PhysicalOperator):
         # re-descending the index for every (row, center) pair would
         # overcharge the fetch by the tree height.
         self._subclusters: Dict[int, Tuple[int, ...]] = {}
+        # batch mode: the deduplicated Cartesian expansion per distinct
+        # centers-tuple, (partners, pre-dedup volume) — many rows share a
+        # centers column value, and the scalar path re-deduplicates the
+        # same union for each of them
+        self._partners_memo: Dict[Tuple[int, ...], Tuple[Tuple[int, ...], int]] = {}
 
     def open(self) -> None:
         super().open()
         self._subclusters = {}
+        self._partners_memo = {}
 
     def close(self) -> None:
         self._subclusters = {}
+        self._partners_memo = {}
+
+    def _subcluster(self, center: int) -> Tuple[int, ...]:
+        """One center's labeled subcluster: per-op memo, then the shared
+        CenterCache (batch mode), then a single B+-tree probe."""
+        partners = self._subclusters.get(center)
+        if partners is not None:
+            return partners
+        shared = self.ctx.center_cache if self.ctx.batched else None
+        if shared is not None:
+            partners = shared.get_subcluster(center, self.fetch_label, self.side)
+        if partners is None:
+            db = self.ctx.db
+            if self.side is Side.OUT:
+                partners = db.join_index.get_t(center, self.fetch_label)
+            else:
+                partners = db.join_index.get_f(center, self.fetch_label)
+            if shared is not None:
+                shared.put_subcluster(center, self.fetch_label, self.side, partners)
+        self._subclusters[center] = partners
+        return partners
 
     def _produce(self, source: Optional[Iterable[Row]]) -> Iterator[Row]:
-        db = self.ctx.db
+        if self.ctx.batched:
+            yield from self._produce_batched(source)
+            return
         metrics = self.metrics
-        side = self.side
-        cache = self._subclusters
+        subcluster = self._subcluster
         for row in self._pull(source):
             base = tuple(row[: self.var_count])
             carried = tuple(row[p] for p in self.keep_positions)
             seen_partners: set = set()
             for center in row[self.centers_position]:
                 metrics.centers_probed += 1
-                partners = cache.get(center)
-                if partners is None:
-                    if side is Side.OUT:
-                        partners = db.join_index.get_t(center, self.fetch_label)
-                    else:
-                        partners = db.join_index.get_f(center, self.fetch_label)
-                    cache[center] = partners
+                partners = subcluster(center)
                 metrics.nodes_fetched += len(partners)
                 for partner in partners:
                     if partner not in seen_partners:
                         seen_partners.add(partner)
                         yield base + (partner,) + carried
+
+    def _produce_batched(self, source: Optional[Iterable[Row]]) -> Iterator[Row]:
+        """Block-at-a-time Fetch: one dedup union per distinct centers set.
+
+        The logical counters are charged per row exactly like the scalar
+        path (``centers_probed`` per (row, center), ``nodes_fetched`` per
+        subcluster node examined) even when the union itself comes from
+        the memo — the counters describe Algorithm 2's work, not the
+        memoization shortcut.
+        """
+        metrics = self.metrics
+        memo = self._partners_memo
+        centers_position = self.centers_position
+        for block in kernels.iter_blocks(self._pull(source), self.ctx.batch_size):
+            for row in block:
+                centers = row[centers_position]
+                entry = memo.get(centers)
+                if entry is None:
+                    entry = memo[centers] = kernels.gather_union(
+                        [self._subcluster(center) for center in centers]
+                    )
+                partners, volume = entry
+                metrics.centers_probed += len(centers)
+                metrics.nodes_fetched += volume
+                base = tuple(row[: self.var_count])
+                carried = tuple(row[p] for p in self.keep_positions)
+                for partner in partners:
+                    yield base + (partner,) + carried
 
 
 class SelectionOp(PhysicalOperator):

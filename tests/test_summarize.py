@@ -8,7 +8,13 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
 
-from summarize import available_figures, figure_table, load_measurements, main
+from summarize import (
+    available_figures,
+    diff_bench_files,
+    figure_table,
+    load_measurements,
+    main,
+)
 
 
 @pytest.fixture
@@ -85,3 +91,65 @@ class TestSummarize:
         path = tmp_path / "empty.json"
         path.write_text('{"benchmarks": []}')
         assert main([str(path)]) == 1
+
+
+def _bench_file(tmp_path, name, entries):
+    path = tmp_path / name
+    path.write_text(json.dumps({"bench": "x", "budget": 1500, "entries": entries}))
+    return str(path)
+
+
+class TestDiff:
+    def _entry(self, query, optimizer, wall_ms, variant=None):
+        return {
+            "query": query,
+            "optimizer": optimizer,
+            "variant": variant,
+            "wall_ms": wall_ms,
+            "rows": 10,
+            "operators": [],
+            "cache_hit_rate": None,
+        }
+
+    def test_no_regression_within_threshold(self, tmp_path):
+        old = _bench_file(tmp_path, "old.json", [self._entry("Q1", "dps", 10.0)])
+        new = _bench_file(tmp_path, "new.json", [self._entry("Q1", "dps", 11.4)])
+        assert diff_bench_files(old, new) == []
+        assert main(["--diff", old, new]) == 0
+
+    def test_regression_over_15_percent_flagged(self, tmp_path, capsys):
+        old = _bench_file(tmp_path, "old.json", [self._entry("Q1", "dps", 10.0)])
+        new = _bench_file(tmp_path, "new.json", [self._entry("Q1", "dps", 12.0)])
+        lines = diff_bench_files(old, new)
+        assert len(lines) == 1 and "Q1/dps" in lines[0]
+        assert main(["--diff", old, new]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_improvement_is_not_a_regression(self, tmp_path):
+        old = _bench_file(tmp_path, "old.json", [self._entry("Q1", "dps", 10.0)])
+        new = _bench_file(tmp_path, "new.json", [self._entry("Q1", "dps", 4.0)])
+        assert diff_bench_files(old, new) == []
+
+    def test_entries_matched_on_variant(self, tmp_path):
+        old = _bench_file(
+            tmp_path,
+            "old.json",
+            [self._entry("Q1", "dps", 10.0, "scalar"),
+             self._entry("Q1", "dps", 2.0, "batch")],
+        )
+        new = _bench_file(
+            tmp_path,
+            "new.json",
+            [self._entry("Q1", "dps", 10.5, "scalar"),
+             self._entry("Q1", "dps", 3.0, "batch")],
+        )
+        lines = diff_bench_files(old, new)
+        assert len(lines) == 1
+        assert "Q1/dps/batch" in lines[0]
+
+    def test_unmatched_entries_reported_not_flagged(self, tmp_path, capsys):
+        old = _bench_file(tmp_path, "old.json", [self._entry("Q1", "dps", 10.0)])
+        new = _bench_file(tmp_path, "new.json", [self._entry("Q2", "dps", 99.0)])
+        assert main(["--diff", old, new]) == 0
+        out = capsys.readouterr().out
+        assert "only in old" in out and "only in new" in out
