@@ -1,0 +1,165 @@
+"""Scaling curves for morsel-driven parallel execution.
+
+Measures (a) the wall-clock speedup of the parallel R-join scheduler over
+the sequential executor on a filter-heavy star and a deep path as worker
+count grows, and (b) sequential vs parallel 2-hop index construction.
+Every timed configuration is also *agreement-gated*: the parallel rows
+must equal the sequential oracle's, so a speedup can never be bought with
+a correctness regression.
+
+The container running CI may have a single core; the >= 1.5x speedup
+assertion at 4 workers therefore only fires when ``os.cpu_count() >= 4``
+— on smaller machines the curve is still recorded to
+``BENCH_parallel_scaling.json`` for offline inspection.
+
+Run with: pytest benchmarks/bench_parallel_scaling.py -s
+(the agree-gates also run under --benchmark-disable; timings use
+``time.perf_counter`` so CI's parallel-smoke job exercises them without
+the pytest-benchmark machinery).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro import GraphEngine
+from repro.graph import xmark
+from repro.graph.traversal import TransitiveClosure
+from repro.labeling.twohop import build_two_hop
+from repro.query import fork_available
+from repro.workloads.patterns import PatternFactory
+
+from conftest import BENCH_BUDGET, BENCH_SEED
+
+#: worker counts for the scaling curve (deduplicated, sorted)
+WORKER_LADDER = sorted({1, 2, 4, os.cpu_count() or 1})
+
+#: the backend worth timing: threads cannot speed up pure-Python morsels
+#: under the GIL, so the curve uses processes when fork is available
+TIMED_BACKEND = "process" if fork_available() else "thread"
+
+BACKENDS = ("thread", "process") if fork_available() else ("thread",)
+
+#: repetitions per timed configuration; the minimum is reported
+REPEATS = 3
+
+
+@pytest.fixture(scope="module")
+def engine():
+    data = xmark.generate(factor=0.3, entity_budget=BENCH_BUDGET, seed=BENCH_SEED)
+    eng = GraphEngine(data.graph)
+    yield eng
+    eng.close_pool()
+
+
+@pytest.fixture(scope="module")
+def patterns(engine):
+    factory = PatternFactory(engine.db.catalog, seed=23)
+    return {
+        # filter-heavy star: one center fan-out, three R-join arms
+        "star3": factory.instantiate(((0, 1), (1, 2), (1, 3))),
+        # deep path: four chained R-joins, long operator pipeline
+        "path5": factory.instantiate(((0, 1), (1, 2), (2, 3), (3, 4))),
+    }
+
+
+def _timed(fn):
+    best = float("inf")
+    result = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best * 1000.0, result
+
+
+# ----------------------------------------------------------------------
+# agreement gates (always run, both backends)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_parallel_agrees_with_sequential(engine, patterns, backend):
+    for name, pattern in patterns.items():
+        oracle = engine.match(pattern)
+        parallel = engine.match(
+            pattern, workers=2, parallel_backend=backend, morsel_size=64
+        )
+        assert parallel.rows == oracle.rows, f"{name} [{backend}]"
+        assert parallel.metrics.parallel.backend == backend
+
+
+# ----------------------------------------------------------------------
+# query scaling curve
+# ----------------------------------------------------------------------
+def test_query_scaling_curve(engine, patterns, bench_record):
+    for name, pattern in patterns.items():
+        oracle = engine.match(pattern)
+        base_ms, _ = _timed(lambda: engine.match(pattern))
+        speedups = {}
+        for workers in WORKER_LADDER:
+            if workers == 1:
+                wall_ms, result = base_ms, oracle
+            else:
+                wall_ms, result = _timed(
+                    lambda w=workers: engine.match(
+                        pattern, workers=w, parallel_backend=TIMED_BACKEND
+                    )
+                )
+                assert result.rows == oracle.rows, f"{name} @ {workers} workers"
+            stats = result.metrics.parallel
+            speedups[workers] = base_ms / wall_ms if wall_ms else float("inf")
+            bench_record.add(
+                query=name,
+                optimizer="dps",
+                wall_ms=wall_ms,
+                rows=len(result.rows),
+                workers=workers,
+                backend=TIMED_BACKEND if workers > 1 else None,
+                morsels=stats.morsels if stats else 0,
+                pool_init_ms=(
+                    round(stats.pool_init_seconds * 1000.0, 4) if stats else 0.0
+                ),
+                speedup=round(speedups[workers], 3),
+            )
+        if os.cpu_count() >= 4 and 4 in speedups:
+            assert speedups[4] >= 1.5, (
+                f"{name}: expected >=1.5x at 4 workers on a "
+                f"{os.cpu_count()}-core machine, got {speedups[4]:.2f}x"
+            )
+
+
+# ----------------------------------------------------------------------
+# index-build scaling
+# ----------------------------------------------------------------------
+def test_index_build_scaling(engine, bench_record):
+    graph = engine.db.graph
+    base_ms, sequential = _timed(lambda: build_two_hop(graph))
+    closure = TransitiveClosure(graph)
+    sample = range(0, graph.node_count, max(1, graph.node_count // 40))
+    bench_record.add(
+        query="build_two_hop",
+        optimizer="sequential",
+        wall_ms=base_ms,
+        rows=sequential.cover_size(),
+        workers=1,
+    )
+    for workers in WORKER_LADDER:
+        if workers == 1:
+            continue
+        wall_ms, parallel = _timed(
+            lambda w=workers: build_two_hop(graph, workers=w, backend=TIMED_BACKEND)
+        )
+        bench_record.add(
+            query="build_two_hop",
+            optimizer=f"parallel-{TIMED_BACKEND}",
+            wall_ms=wall_ms,
+            rows=parallel.cover_size(),
+            workers=workers,
+            speedup=round(base_ms / wall_ms, 3) if wall_ms else None,
+        )
+        # agreement gate: same reachability answers on a node sample
+        for u in sample:
+            for v in sample:
+                expected = closure.reaches(u, v)
+                assert parallel.reaches(u, v) == expected, f"{u}~>{v}"
+                assert sequential.reaches(u, v) == expected, f"{u}~>{v}"

@@ -14,6 +14,13 @@ encodes them directly and runs as part of ``repro check --self`` and CI:
   execution context are the query layer's private machinery): callers go
   through ``execute_plan`` / ``execute_plan_streaming`` /
   ``GraphEngine``, which guarantee plan validation and uniform metrics.
+* ``lint/multiprocessing-outside-parallel`` — direct ``multiprocessing``
+  imports (and the ``concurrent.futures`` pool executors) are confined
+  to :mod:`repro.query.physical.parallel` (the morsel scheduler) and the
+  ``labeling`` package (the parallel index build): everything else
+  routes parallel execution through the ``WorkerPool``/``workers=`` API,
+  so pool lifecycle, fork-safety and metric merging stay in one audited
+  place.
 * ``lint/mutable-default`` — no mutable default arguments (list/dict/set
   literals, comprehensions, or ``list()``/``dict()``/``set()`` calls):
   the shared-instance trap.
@@ -61,6 +68,24 @@ def _is_query_module(filename: str) -> bool:
     return "query" in parts
 
 
+def _may_import_multiprocessing(filename: str) -> bool:
+    """Only the morsel scheduler and the labeling package own pools."""
+    path = Path(filename)
+    parts = path.parts
+    return "labeling" in parts or (
+        path.name == "parallel.py" and "physical" in parts
+    )
+
+
+def _is_multiprocessing(module: str) -> bool:
+    return module == "multiprocessing" or module.startswith("multiprocessing.")
+
+
+#: ``concurrent.futures`` names that create worker pools — importing one
+#: means owning a pool, which belongs in the morsel scheduler
+_POOL_EXECUTORS = frozenset({"ProcessPoolExecutor", "ThreadPoolExecutor"})
+
+
 def _module_tail(module: str) -> tuple:
     return tuple(module.split("."))[-2:]
 
@@ -81,6 +106,7 @@ class _LintVisitor(ast.NodeVisitor):
         self.filename = filename
         self.source = source
         self.in_query_layer = _is_query_module(filename)
+        self.may_multiprocess = _may_import_multiprocessing(filename)
         self.is_init = Path(filename).name == "__init__.py"
         self.diagnostics: List[Diagnostic] = []
         self.imports: List[tuple] = []  # (name, lineno, import statement text)
@@ -117,6 +143,14 @@ class _LintVisitor(ast.NodeVisitor):
                     "go through execute_plan/execute_plan_streaming/"
                     "GraphEngine instead of physical-operator internals",
                 )
+            if _is_multiprocessing(alias.name) and not self.may_multiprocess:
+                self.report(
+                    "lint/multiprocessing-outside-parallel",
+                    node.lineno,
+                    f"direct import of {alias.name!r}; pool ownership lives "
+                    "in repro.query.physical.parallel (and the labeling "
+                    "build) — use the workers=/WorkerPool API instead",
+                )
             self.imports.append(
                 (alias.asname or alias.name.split(".")[0], node.lineno)
             )
@@ -126,6 +160,25 @@ class _LintVisitor(ast.NodeVisitor):
         module = node.module or ""
         if module == "__future__":
             return
+        if _is_multiprocessing(module) and not self.may_multiprocess:
+            self.report(
+                "lint/multiprocessing-outside-parallel",
+                node.lineno,
+                f"direct import from {module!r}; pool ownership lives in "
+                "repro.query.physical.parallel (and the labeling build) — "
+                "use the workers=/WorkerPool API instead",
+            )
+        if module == "concurrent.futures" and not self.may_multiprocess:
+            for alias in node.names:
+                if alias.name in _POOL_EXECUTORS:
+                    self.report(
+                        "lint/multiprocessing-outside-parallel",
+                        node.lineno,
+                        f"direct import of {alias.name!r}; pool ownership "
+                        "lives in repro.query.physical.parallel (and the "
+                        "labeling build) — use the workers=/WorkerPool API "
+                        "instead",
+                    )
         if self.in_query_layer and _module_tail(module) in _RAW_STORAGE_MODULES:
             self.report(
                 "lint/storage-bypass",

@@ -63,9 +63,26 @@ class DynamicReachability:
     # mutation
     # ------------------------------------------------------------------
     def add_node(self, label: str) -> int:
-        """Add a labeled node; it is immediately queryable."""
+        """Add a labeled node; it is immediately queryable.
+
+        The static labeling is extended in place with the node's
+        self-labels (an inserted node is statically isolated, so
+        ``in(v) = out(v) = {v}`` is its exact code), and the labeling's
+        derived memos — the cached ``centers()`` set and the sorted
+        code-array views, both sized/computed for the pre-insert node
+        count — are invalidated.  Without that invalidation a labeling
+        consumer that warmed the caches before the insert would miss the
+        new node in ``centers()`` and index out of bounds in
+        ``in_code_array``/``out_code_array``.
+        """
         node = self.graph.add_node(label)
         self._new_nodes.add(node)
+        labeling = self.labeling
+        while len(labeling.in_codes) <= node:
+            missing = len(labeling.in_codes)
+            labeling.in_codes.append(frozenset({missing}))
+            labeling.out_codes.append(frozenset({missing}))
+        labeling.invalidate_caches()
         return node
 
     def add_edge(self, u: int, v: int) -> None:

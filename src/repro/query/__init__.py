@@ -14,16 +14,22 @@ from .algebra import (
 from .costmodel import CostModel, CostParams
 from .engine import GraphEngine
 from .physical import (
+    BACKENDS,
     DEFAULT_BATCH_SIZE,
     DEFAULT_CACHE_BYTES,
+    DEFAULT_MORSEL_SIZE,
     CacheStats,
     CenterCache,
     OperatorMetrics,
+    ParallelStats,
     QueryResult,
     RunMetrics,
     StreamingResult,
+    WorkerPool,
+    default_backend,
     execute_plan,
     execute_plan_streaming,
+    fork_available,
 )
 from .optimizer_dp import OptimizedPlan, optimize_dp, optimize_greedy
 from .optimizer_dps import optimize_dps
@@ -43,16 +49,22 @@ __all__ = [
     "CostModel",
     "CostParams",
     "GraphEngine",
+    "BACKENDS",
     "CacheStats",
     "CenterCache",
     "DEFAULT_BATCH_SIZE",
     "DEFAULT_CACHE_BYTES",
+    "DEFAULT_MORSEL_SIZE",
     "OperatorMetrics",
+    "ParallelStats",
     "QueryResult",
     "RunMetrics",
     "StreamingResult",
+    "WorkerPool",
+    "default_backend",
     "execute_plan",
     "execute_plan_streaming",
+    "fork_available",
     "OptimizedPlan",
     "optimize_dp",
     "optimize_dps",

@@ -33,6 +33,7 @@ from .physical.drivers import (
     execute_plan,
     execute_plan_streaming,
 )
+from .physical.parallel import WorkerPool
 from .optimizer_dp import OptimizedPlan, optimize_dp, optimize_greedy
 from .optimizer_dps import optimize_dps
 from .parser import parse_pattern
@@ -65,6 +66,8 @@ class GraphEngine:
         code_cache_enabled: bool = True,
         cache_bytes: int = DEFAULT_CACHE_BYTES,
         batch_size: Optional[int] = None,
+        workers: Optional[int] = None,
+        parallel_backend: Optional[str] = None,
     ) -> None:
         self.db = GraphDatabase(
             graph,
@@ -79,6 +82,10 @@ class GraphEngine:
         #: default block size for :meth:`match`/:meth:`match_iter`;
         #: ``None`` keeps the scalar tuple-at-a-time oracle
         self.batch_size = batch_size
+        #: default worker count / pool backend for queries; ``None``/1
+        #: keeps the sequential drivers
+        self.workers = workers
+        self.parallel_backend = parallel_backend
 
     @classmethod
     def from_database(
@@ -87,6 +94,8 @@ class GraphEngine:
         cost_params: Optional[CostParams] = None,
         cache_bytes: int = DEFAULT_CACHE_BYTES,
         batch_size: Optional[int] = None,
+        workers: Optional[int] = None,
+        parallel_backend: Optional[str] = None,
     ) -> "GraphEngine":
         """Wrap an existing (e.g. reloaded) database without rebuilding it.
 
@@ -98,11 +107,15 @@ class GraphEngine:
         engine.cost_params = cost_params or CostParams()
         engine._center_cache = CenterCache(capacity_bytes=cache_bytes)
         engine.batch_size = batch_size
+        engine.workers = workers
+        engine.parallel_backend = parallel_backend
         return engine
 
-    #: class-level fallback so hand-wrapped engines (``__new__`` + attribute
-    #: assignment, as older callers do) default to the scalar path
+    #: class-level fallbacks so hand-wrapped engines (``__new__`` + attribute
+    #: assignment, as older callers do) default to the scalar sequential path
     batch_size: Optional[int] = None
+    workers: Optional[int] = None
+    parallel_backend: Optional[str] = None
 
     @property
     def center_cache(self) -> CenterCache:
@@ -111,6 +124,37 @@ class GraphEngine:
         if cache is None:
             cache = self._center_cache = CenterCache()
         return cache
+
+    # ------------------------------------------------------------------
+    def worker_pool(self, workers: int, backend: Optional[str] = None) -> WorkerPool:
+        """The engine-owned reusable morsel pool (lazy, one at a time).
+
+        The pool is keyed by (worker count, backend, index generation):
+        asking with different parameters — or after
+        ``db.rebuild_join_index()`` bumped the generation, which makes
+        forked index snapshots stale — shuts the old pool down and builds
+        a fresh one.  Sequential queries never create a pool.
+        """
+        pool: Optional[WorkerPool] = getattr(self, "_worker_pool", None)
+        effective_backend = backend or self.parallel_backend
+        if pool is not None and not (
+            pool.compatible(self.db)
+            and pool.workers == workers
+            and (effective_backend is None or pool.backend == effective_backend)
+        ):
+            pool.shutdown()
+            pool = None
+        if pool is None:
+            pool = WorkerPool(self.db, workers, effective_backend)
+            self._worker_pool = pool
+        return pool
+
+    def close_pool(self) -> None:
+        """Shut the engine-owned worker pool down (idempotent)."""
+        pool: Optional[WorkerPool] = getattr(self, "_worker_pool", None)
+        if pool is not None:
+            pool.shutdown()
+            self._worker_pool = None
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -158,6 +202,9 @@ class GraphEngine:
         row_limit: Optional[int] = None,
         verify: bool = False,
         batch_size: Optional[int] = None,
+        workers: Optional[int] = None,
+        parallel_backend: Optional[str] = None,
+        morsel_size: Optional[int] = None,
     ) -> QueryResult:
         """Optimize and execute a pattern; returns matches + metrics.
 
@@ -171,12 +218,19 @@ class GraphEngine:
         ``batch_size`` overrides the engine default for this query: a
         value > 1 runs the vectorized Filter/Fetch substrate (results
         identical to scalar), ``0`` forces the scalar path, ``None``
-        inherits the engine's ``batch_size``.
+        inherits the engine's ``batch_size``.  ``workers`` > 1 runs the
+        morsel-driven parallel scheduler on the engine-owned pool
+        (reused across queries); ``None`` inherits the engine's
+        ``workers``.  Rows come back identical to the sequential path.
         """
         optimized = self.plan(pattern, optimizer=optimizer)
         if reset_counters:
             self.db.reset_counters()
         effective = self.batch_size if batch_size is None else batch_size
+        effective_workers = self.workers if workers is None else workers
+        pool = None
+        if effective_workers is not None and effective_workers > 1:
+            pool = self.worker_pool(effective_workers, parallel_backend)
         return execute_plan(
             self.db,
             optimized.plan,
@@ -184,6 +238,10 @@ class GraphEngine:
             verify=verify,
             batch_size=effective,
             center_cache=self.center_cache,
+            workers=effective_workers,
+            parallel_backend=parallel_backend or self.parallel_backend,
+            morsel_size=morsel_size,
+            worker_pool=pool,
         )
 
     def match_iter(
@@ -194,6 +252,9 @@ class GraphEngine:
         row_limit: Optional[int] = None,
         verify: bool = False,
         batch_size: Optional[int] = None,
+        workers: Optional[int] = None,
+        parallel_backend: Optional[str] = None,
+        morsel_size: Optional[int] = None,
     ) -> StreamingResult:
         """Stream matches lazily through the pipelined executor.
 
@@ -204,14 +265,26 @@ class GraphEngine:
         ``verify`` behave exactly as in :meth:`match`; the returned
         :class:`~repro.query.StreamingResult` carries a ``metrics``
         attribute with the same per-operator counters as a full run.
-        ``batch_size`` behaves exactly as in :meth:`match`.
+        ``batch_size`` and ``workers``/``parallel_backend``/``morsel_size``
+        behave exactly as in :meth:`match`; abandoning a parallel stream
+        early (``limit`` reached or :meth:`StreamingResult.close`)
+        cancels the morsels that have not started, while the engine-owned
+        pool stays warm for the next query.
         """
         optimized = self.plan(pattern, optimizer=optimizer)
         effective = self.batch_size if batch_size is None else batch_size
+        effective_workers = self.workers if workers is None else workers
+        pool = None
+        if effective_workers is not None and effective_workers > 1:
+            pool = self.worker_pool(effective_workers, parallel_backend)
         return execute_plan_streaming(
             self.db, optimized.plan, limit=limit, row_limit=row_limit,
             verify=verify, batch_size=effective,
             center_cache=self.center_cache,
+            workers=effective_workers,
+            parallel_backend=parallel_backend or self.parallel_backend,
+            morsel_size=morsel_size,
+            worker_pool=pool,
         )
 
     def explain(self, pattern: PatternLike, optimizer: str = "dps") -> str:

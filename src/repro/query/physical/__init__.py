@@ -16,6 +16,7 @@ points are :func:`repro.query.execute_plan`,
 from .cache import DEFAULT_CACHE_BYTES, CenterCache
 from .context import (
     DEFAULT_BATCH_SIZE,
+    DEFAULT_MORSEL_SIZE,
     CacheStats,
     ExecutionContext,
     OperatorMetrics,
@@ -27,6 +28,14 @@ from .drivers import (
     StreamingResult,
     execute_plan,
     execute_plan_streaming,
+)
+from .parallel import (
+    BACKENDS,
+    ParallelExecution,
+    ParallelStats,
+    WorkerPool,
+    default_backend,
+    fork_available,
 )
 from .operators import (
     FetchOp,
@@ -40,11 +49,18 @@ from .operators import (
 )
 
 __all__ = [
+    "BACKENDS",
     "CacheStats",
     "CenterCache",
     "DEFAULT_BATCH_SIZE",
     "DEFAULT_CACHE_BYTES",
+    "DEFAULT_MORSEL_SIZE",
     "ExecutionContext",
+    "ParallelExecution",
+    "ParallelStats",
+    "WorkerPool",
+    "default_backend",
+    "fork_available",
     "OperatorMetrics",
     "RowLayout",
     "QueryResult",

@@ -29,6 +29,10 @@ _name_counter = itertools.count()
 #: default rows-per-block when a caller enables batching without a size
 DEFAULT_BATCH_SIZE = 1024
 
+#: default rows per parallel morsel (centers morsels are derived from it,
+#: see :mod:`repro.query.physical.parallel`)
+DEFAULT_MORSEL_SIZE = 1024
+
 
 def temp_name(tag: str) -> str:
     """A unique name for one temporal table (materializing driver only)."""
@@ -117,6 +121,14 @@ class ExecutionContext:
     sorted-array kernels (:mod:`repro.query.physical.kernels`).
     ``center_cache`` is the engine-owned cross-query LRU consulted by the
     batch kernels for center sets and subclusters.
+
+    ``workers``/``parallel_backend``/``morsel_size`` select the
+    morsel-driven parallel scheduler
+    (:mod:`repro.query.physical.parallel`): with ``workers > 1`` the
+    drivers partition center worklists and row blocks into morsels of
+    ``morsel_size`` rows and execute them on a worker pool.  ``workers``
+    of ``None``/``0``/``1`` keeps the sequential paths untouched — they
+    are the differential oracles for the parallel ones.
     """
 
     db: GraphDatabase
@@ -124,7 +136,14 @@ class ExecutionContext:
     row_limit: Optional[int] = None
     batch_size: Optional[int] = None
     center_cache: Optional[CenterCache] = None
+    workers: Optional[int] = None
+    parallel_backend: Optional[str] = None
+    morsel_size: int = DEFAULT_MORSEL_SIZE
 
     @property
     def batched(self) -> bool:
         return self.batch_size is not None and self.batch_size > 1
+
+    @property
+    def parallel(self) -> bool:
+        return self.workers is not None and self.workers > 1

@@ -35,6 +35,7 @@ from ..algebra import Plan, TemporalTable
 from .cache import CenterCache
 from .context import CacheStats, ExecutionContext, OperatorMetrics, temp_name
 from .operators import Row, build_pipeline
+from .parallel import ParallelExecution, ParallelStats, WorkerPool
 
 
 @dataclass
@@ -48,6 +49,8 @@ class RunMetrics:
     result_rows: int = 0
     #: CenterCache activity during this run (None when no cache was used)
     center_cache: Optional[CacheStats] = None
+    #: morsel-scheduler activity (None for sequential runs)
+    parallel: Optional[ParallelStats] = None
 
     @property
     def physical_io(self) -> int:
@@ -93,6 +96,9 @@ def _prepare(
     verify: bool,
     batch_size: Optional[int] = None,
     center_cache: Optional[CenterCache] = None,
+    workers: Optional[int] = None,
+    parallel_backend: Optional[str] = None,
+    morsel_size: Optional[int] = None,
 ):
     """Shared driver preamble: verification, validation, pipeline build."""
     if verify:
@@ -107,10 +113,50 @@ def _prepare(
         row_limit=row_limit,
         batch_size=batch_size,
         center_cache=center_cache,
+        workers=workers,
+        parallel_backend=parallel_backend,
     )
+    if morsel_size is not None:
+        ctx.morsel_size = morsel_size
     operators, project = build_pipeline(ctx, plan)
     metrics = RunMetrics(operators=[op.metrics for op in operators])
-    return operators, project, metrics
+    return ctx, operators, project, metrics
+
+
+def _parallel_execution(
+    db: GraphDatabase,
+    plan: Plan,
+    ctx: ExecutionContext,
+    operators,
+    project,
+    worker_pool: Optional[WorkerPool],
+) -> ParallelExecution:
+    """Bind a prepared pipeline to a pool (given, or transient)."""
+    owns = worker_pool is None
+    pool = worker_pool
+    if pool is None:
+        pool = WorkerPool(db, ctx.workers or 1, ctx.parallel_backend)
+    elif not pool.compatible(db):
+        raise ValueError(
+            "worker pool is closed or bound to another database/index "
+            "generation; build a new one (GraphEngine does this "
+            "automatically)"
+        )
+    return ParallelExecution(db, plan, ctx, operators, project, pool, owns)
+
+
+def _merge_worker_cache(
+    parent: Optional[CacheStats], counts
+) -> Optional[CacheStats]:
+    """Fold the workers' (hits, misses, evictions) into the run's stats."""
+    hits, misses, evictions = counts
+    if parent is None and not (hits or misses or evictions):
+        return parent
+    merged = parent if parent is not None else CacheStats()
+    merged.hits += hits
+    merged.misses += misses
+    merged.evictions += evictions
+    return merged
 
 
 def _cache_delta(
@@ -137,6 +183,10 @@ def execute_plan(
     verify: bool = False,
     batch_size: Optional[int] = None,
     center_cache: Optional[CenterCache] = None,
+    workers: Optional[int] = None,
+    parallel_backend: Optional[str] = None,
+    morsel_size: Optional[int] = None,
+    worker_pool: Optional[WorkerPool] = None,
 ) -> QueryResult:
     """Run *plan*, materializing every intermediate; project the result.
 
@@ -153,13 +203,51 @@ def execute_plan(
     through the vectorized kernels; ``center_cache`` plugs in the
     engine's cross-query :class:`CenterCache` (consulted only in batch
     mode).  Results are identical to the scalar path row for row.
+
+    ``workers`` > 1 runs the stages through the morsel-driven scheduler
+    (:mod:`repro.query.physical.parallel`); ``parallel_backend`` picks
+    the pool flavor, ``worker_pool`` reuses an engine-owned pool instead
+    of building a transient one (its worker count wins when ``workers``
+    is None).  The parallel path streams between stages instead of
+    spilling temporal tables, so its I/O delta omits the temporal-table
+    traffic — rows and per-operator counters still match the sequential
+    oracle exactly.
     """
-    operators, project, metrics = _prepare(
-        db, plan, row_limit, verify, batch_size=batch_size, center_cache=center_cache
+    if workers is None and worker_pool is not None:
+        workers = worker_pool.workers
+    ctx, operators, project, metrics = _prepare(
+        db, plan, row_limit, verify, batch_size=batch_size,
+        center_cache=center_cache, workers=workers,
+        parallel_backend=parallel_backend, morsel_size=morsel_size,
     )
     cache_before = center_cache.snapshot() if center_cache is not None else None
     io_before = db.stats.snapshot()
     started = time.perf_counter()
+
+    if ctx.parallel:
+        execution = _parallel_execution(
+            db, plan, ctx, operators, project, worker_pool
+        )
+        try:
+            rows = list(project.rows(execution.results()))
+        finally:
+            execution.finish()
+        metrics.elapsed_seconds = time.perf_counter() - started
+        io = db.stats.delta_since(io_before)
+        io.add(execution.worker_io_delta())
+        metrics.io = io
+        metrics.peak_temporal_rows = max(
+            (op.rows_out for op in metrics.operators), default=0
+        )
+        metrics.result_rows = len(rows)
+        metrics.center_cache = _merge_worker_cache(
+            _cache_delta(center_cache, cache_before), execution.cache_counts
+        )
+        metrics.parallel = execution.stats
+        return QueryResult(
+            columns=tuple(plan.pattern.variables), rows=rows, plan=plan,
+            metrics=metrics,
+        )
 
     table: Optional[TemporalTable] = None
     for op in operators:
@@ -192,6 +280,12 @@ class StreamingResult:
     I/O delta, result count, peak intermediate size) when the stream is
     exhausted.  With a ``limit``, upstream operators stop early and the
     metrics cover only the work actually done.
+
+    Under parallel execution ``parallel`` holds the run's
+    :class:`~repro.query.physical.parallel.ParallelExecution`;
+    :meth:`close` (or garbage collection of the iterator chain) cancels
+    its outstanding morsels.  Call :meth:`close` to abandon any stream
+    deterministically — it is safe on sequential streams too.
     """
 
     def __init__(
@@ -200,6 +294,7 @@ class StreamingResult:
         metrics: RunMetrics,
         db: GraphDatabase,
         center_cache: Optional[CenterCache] = None,
+        parallel: Optional[ParallelExecution] = None,
     ):
         self._rows = rows
         self._db = db
@@ -207,7 +302,9 @@ class StreamingResult:
         self._started: Optional[float] = None
         self._center_cache = center_cache
         self._cache_before: Optional[Tuple[int, int, int]] = None
+        self._finalized = False
         self.metrics = metrics
+        self.parallel = parallel
 
     def __iter__(self) -> "StreamingResult":
         return self
@@ -226,15 +323,35 @@ class StreamingResult:
         self.metrics.result_rows += 1
         return row
 
+    def close(self) -> None:
+        """Abandon the stream early: close the operator chain, cancel
+        outstanding morsels, and finalize the metrics over the work
+        actually performed."""
+        self._rows.close()
+        if self.parallel is not None:
+            self.parallel.finish()
+        if self._started is not None:
+            self._finalize()
+
     def _finalize(self) -> None:
+        if self._finalized:
+            return
+        self._finalized = True
         metrics = self.metrics
         metrics.elapsed_seconds = time.perf_counter() - (self._started or 0.0)
         if self._io_before is not None:
             metrics.io = self._db.stats.delta_since(self._io_before)
+            if self.parallel is not None:
+                metrics.io.add(self.parallel.worker_io_delta())
         metrics.peak_temporal_rows = max(
             (op.rows_out for op in metrics.operators), default=0
         )
         metrics.center_cache = _cache_delta(self._center_cache, self._cache_before)
+        if self.parallel is not None:
+            metrics.center_cache = _merge_worker_cache(
+                metrics.center_cache, self.parallel.cache_counts
+            )
+            metrics.parallel = self.parallel.stats
 
 
 def execute_plan_streaming(
@@ -245,6 +362,10 @@ def execute_plan_streaming(
     verify: bool = False,
     batch_size: Optional[int] = None,
     center_cache: Optional[CenterCache] = None,
+    workers: Optional[int] = None,
+    parallel_backend: Optional[str] = None,
+    morsel_size: Optional[int] = None,
+    worker_pool: Optional[WorkerPool] = None,
 ) -> StreamingResult:
     """Yield projected result rows lazily; stop early at *limit*.
 
@@ -253,25 +374,50 @@ def execute_plan_streaming(
     :func:`execute_plan`, and the returned :class:`StreamingResult`
     carries per-operator metrics identical to the materializing driver's
     once the stream is fully drained.  ``batch_size``/``center_cache``
-    select the vectorized substrate exactly as in :func:`execute_plan`.
+    select the vectorized substrate and
+    ``workers``/``parallel_backend``/``morsel_size``/``worker_pool`` the
+    morsel scheduler, exactly as in :func:`execute_plan`; under parallel
+    execution the final stage's morsels are merged lazily, and stopping
+    at *limit* (or :meth:`StreamingResult.close`) cancels the morsels
+    that have not started yet.
     """
-    operators, project, metrics = _prepare(
-        db, plan, row_limit, verify, batch_size=batch_size, center_cache=center_cache
+    if workers is None and worker_pool is not None:
+        workers = worker_pool.workers
+    ctx, operators, project, metrics = _prepare(
+        db, plan, row_limit, verify, batch_size=batch_size,
+        center_cache=center_cache, workers=workers,
+        parallel_backend=parallel_backend, morsel_size=morsel_size,
     )
 
-    source: Optional[Iterator[Row]] = None
-    for op in operators:
-        source = op.rows(source)
-    projected = project.rows(source)
+    execution: Optional[ParallelExecution] = None
+    if ctx.parallel:
+        execution = _parallel_execution(
+            db, plan, ctx, operators, project, worker_pool
+        )
+        projected = project.rows(execution.results())
+    else:
+        source: Optional[Iterator[Row]] = None
+        for op in operators:
+            source = op.rows(source)
+        projected = project.rows(source)
 
     def bounded() -> Iterator[Row]:
-        if limit is not None and limit <= 0:
-            return
-        emitted = 0
-        for row in projected:
-            yield row
-            emitted += 1
-            if limit is not None and emitted >= limit:
+        try:
+            if limit is not None and limit <= 0:
                 return
+            emitted = 0
+            for row in projected:
+                yield row
+                emitted += 1
+                if limit is not None and emitted >= limit:
+                    return
+        finally:
+            # explicit teardown (not GC order): stopping at the limit or
+            # closing the stream must cancel outstanding morsels now
+            projected.close()
+            if execution is not None:
+                execution.finish()
 
-    return StreamingResult(bounded(), metrics, db, center_cache=center_cache)
+    return StreamingResult(
+        bounded(), metrics, db, center_cache=center_cache, parallel=execution
+    )

@@ -155,11 +155,22 @@ class SeedJoinOp(PhysicalOperator):
     def close(self) -> None:
         self._seen = set()
 
-    def _produce(self, source: Optional[Iterable[Row]]) -> Iterator[Row]:
+    def center_worklist(self) -> List[int]:
+        """The ``W(X, Y)`` worklist this seed iterates, in index order.
+
+        The parallel scheduler partitions exactly this list into center
+        morsels; keeping the enumeration order identical to
+        :meth:`_produce` is what makes the morsel-merged output
+        byte-identical to the sequential oracle.
+        """
+        return list(self.ctx.db.join_index.centers(self.x_label, self.y_label))
+
+    def _enumerate(self, centers: Iterable[int]) -> Iterator[Row]:
+        """Candidate pairs for a slice of the worklist, locally deduped."""
         db = self.ctx.db
         metrics = self.metrics
         seen = self._seen
-        for center in db.join_index.centers(self.x_label, self.y_label):
+        for center in centers:
             metrics.centers_probed += 1
             # one combined probe: both subcluster maps live in the same
             # leaf, so get_f + get_t would descend the tree twice for it
@@ -174,6 +185,28 @@ class SeedJoinOp(PhysicalOperator):
                     if pair not in seen:
                         seen.add(pair)
                         yield pair
+
+    def rows_for_centers(self, centers: Iterable[int]) -> Iterator[Row]:
+        """Run the seed over one center morsel (worker-side entry point).
+
+        Unlike :meth:`rows` this neither applies the row-limit guard nor
+        owns the final ``rows_out`` count — deduplication across morsels
+        happens in the scheduler, which recounts the merged output; the
+        per-morsel candidate counters it *does* accumulate here sum to
+        the sequential values exactly.
+        """
+        self.open()
+        try:
+            for pair in self._enumerate(centers):
+                self.metrics.rows_out += 1
+                yield pair
+        finally:
+            self.close()
+
+    def _produce(self, source: Optional[Iterable[Row]]) -> Iterator[Row]:
+        yield from self._enumerate(
+            self.ctx.db.join_index.centers(self.x_label, self.y_label)
+        )
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,440 @@
+"""Morsel-driven parallel execution for the R-join hot path.
+
+The paper's operators decompose into independent work units: HPSJ's seed
+join is a union over per-center Cartesian products ``getF(w,X) ×
+getT(w,Y)`` for ``w ∈ W(X,Y)`` (Eq. 6, Algorithm 1), and HPSJ+'s
+Filter/Fetch procedures probe each temporal tuple independently (Eqs.
+7-9, Algorithm 2).  This module schedules those units as *morsels* —
+fixed-size slices of the center worklist or of a stage's input rows —
+over a reusable worker pool, in the spirit of morsel-driven query
+engines:
+
+* :class:`WorkerPool` — the pool itself.  The default backend on
+  platforms with ``fork`` is a ``ProcessPoolExecutor`` whose workers
+  inherit the read-only database by copy-on-write (nothing is pickled
+  for the index; only plans, morsels and result rows cross the process
+  boundary).  The ``thread`` backend is the portable fallback: the
+  storage engine (buffer pool LRU, B+-tree page table) is not
+  thread-safe, so thread-backend morsels serialize on a pool-level lock
+  — it exercises the identical scheduling/merging machinery and keeps
+  the feature usable where ``fork`` does not exist, but cannot speed up
+  CPU-bound work under the GIL.
+* :class:`ParallelExecution` — one plan execution: stage by stage it
+  partitions the work, submits morsels, and merges results *in morsel
+  order*.  Because every stage maps input rows to output rows
+  order-preservingly (and the seed join's cross-morsel deduplication is
+  replayed by the coordinator in worklist order), the merged output is
+  byte-identical to the sequential oracle — row for row, not merely as
+  a set.  Per-worker ``OperatorMetrics`` counters, I/O deltas and
+  :class:`CenterCache` counters are folded into the coordinator's
+  :class:`~repro.query.physical.drivers.RunMetrics` deterministically.
+
+Determinism and parity guarantees (relied on by the differential tests):
+
+* result rows equal the sequential drivers' rows, in the same order;
+* ``rows_in``/``centers_probed``/``nodes_fetched`` per operator equal
+  the sequential values exactly (each (row, center) unit is charged in
+  exactly one morsel); ``rows_out`` is recounted by the coordinator on
+  the merged stream, so it too matches;
+* a stage whose work fits one morsel runs inline in the coordinator —
+  ``workers=1`` (or no pool) never touches this module at all.
+
+Early termination: the streaming driver's consumer may abandon the
+result iterator at any time.  :meth:`ParallelExecution.finish` then sets
+``cancel_event``, cancels every not-yet-running morsel, and (for
+transient pools) shuts the pool down; engine-owned pools survive for the
+next query.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from concurrent.futures import (
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait as futures_wait,
+)
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ...db.database import GraphDatabase
+from ...storage.stats import IOStats
+from ..algebra import Plan, RowLimitExceeded
+from .cache import CenterCache
+from .context import DEFAULT_MORSEL_SIZE, ExecutionContext
+from .operators import (
+    PhysicalOperator,
+    ProjectOp,
+    Row,
+    SeedJoinOp,
+    SeedScanOp,
+    build_pipeline,
+)
+
+#: the two pool backends; "process" needs the fork start method
+BACKENDS = ("process", "thread")
+
+#: centers are heavier units than rows (each expands a Cartesian
+#: product), so center morsels are this many times smaller
+CENTER_MORSEL_DIVISOR = 16
+
+
+def fork_available() -> bool:
+    """True when the platform offers the fork start method (Linux/macOS)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def default_backend() -> str:
+    """Process pool where fork exists, thread pool elsewhere."""
+    return "process" if fork_available() else "thread"
+
+
+def center_morsel_size(morsel_size: int) -> int:
+    """Centers per seed-join morsel for a given row morsel size."""
+    return max(1, morsel_size // CENTER_MORSEL_DIVISOR)
+
+
+# ----------------------------------------------------------------------
+# worker-side entry points
+# ----------------------------------------------------------------------
+# The database handle forked workers operate on.  It is installed by the
+# pool initializer, whose arguments reach the child through fork memory
+# inheritance (never pickled) — see WorkerPool.
+_WORKER_DB: Optional[GraphDatabase] = None
+
+
+def _init_worker(db: GraphDatabase) -> None:
+    global _WORKER_DB
+    _WORKER_DB = db
+
+
+# payload = (plan, stage_index, batch_size, use_cache, kind, data)
+Payload = Tuple[Plan, int, Optional[int], bool, str, Sequence]
+StageResult = Tuple[
+    List[Row],
+    Tuple[int, int, int, int],
+    IOStats,
+    Optional[Tuple[int, int, int]],
+]
+
+
+def _run_stage(payload: Payload, db: Optional[GraphDatabase] = None) -> StageResult:
+    """Execute one morsel of one stage; runs inside a pool worker.
+
+    Rebuilds the operator pipeline from the (pickled) plan — operator
+    construction is a few dict lookups, negligible against a morsel's
+    probes — and runs only the addressed stage.  ``row_limit`` is *not*
+    applied here: the coordinator enforces it on the merged stream, so a
+    limit violation is detected at the same global row count as in the
+    sequential drivers.
+    """
+    plan, stage_index, batch_size, use_cache, kind, data = payload
+    if db is None:
+        db = _WORKER_DB
+    if db is None:  # pragma: no cover - defensive: initializer not run
+        raise RuntimeError("worker has no database handle")
+    cache = CenterCache() if use_cache else None
+    ctx = ExecutionContext(
+        db=db, pattern=plan.pattern, batch_size=batch_size, center_cache=cache
+    )
+    operators, _project = build_pipeline(ctx, plan)
+    op = operators[stage_index]
+    io_before = db.stats.snapshot()
+    if kind == "centers":
+        assert isinstance(op, SeedJoinOp)
+        rows = list(op.rows_for_centers(data))
+    else:
+        rows = list(op.rows(iter(data)))
+    m = op.metrics
+    counters = (m.rows_in, m.rows_out, m.centers_probed, m.nodes_fetched)
+    io_delta = db.stats.delta_since(io_before)
+    cache_counts = cache.snapshot() if cache is not None else None
+    return rows, counters, io_delta, cache_counts
+
+
+def _locked_stage(
+    lock: threading.Lock, payload: Payload, db: GraphDatabase
+) -> StageResult:
+    """Thread-backend task wrapper: the storage engine is not
+    thread-safe, so morsels take the pool-level lock for their whole
+    body (scheduling machinery still overlaps with coordinator merge)."""
+    with lock:
+        return _run_stage(payload, db)
+
+
+# ----------------------------------------------------------------------
+# the pool
+# ----------------------------------------------------------------------
+class WorkerPool:
+    """A reusable morsel-execution pool bound to one database snapshot.
+
+    ``process`` backend: a fork-context ``ProcessPoolExecutor`` whose
+    initializer hands each worker the database object.  With the fork
+    start method, initializer arguments travel by memory inheritance, so
+    workers share the index pages copy-on-write and nothing index-sized
+    is ever serialized.  Workers fork lazily on first use, each one
+    receiving the database state as of its fork — which is why a pool is
+    *bound* to an index generation: :meth:`compatible` refuses reuse
+    after ``rebuild_join_index()`` bumped the generation, and the engine
+    then builds a fresh pool.
+
+    ``thread`` backend: a ``ThreadPoolExecutor`` plus the serializing
+    lock described in the module docstring.
+    """
+
+    def __init__(
+        self,
+        db: GraphDatabase,
+        workers: int,
+        backend: Optional[str] = None,
+    ) -> None:
+        backend = backend or default_backend()
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown parallel backend {backend!r}; choose from {BACKENDS}"
+            )
+        if backend == "process" and not fork_available():
+            raise ValueError(
+                "the process backend needs the fork start method; "
+                "use parallel_backend='thread' on this platform"
+            )
+        self.workers = max(1, int(workers))
+        self.backend = backend
+        self.generation = getattr(db, "index_generation", 0)
+        self.closed = False
+        self._db = db
+        started = time.perf_counter()
+        if backend == "process":
+            self._lock: Optional[threading.Lock] = None
+            self._executor: ProcessPoolExecutor | ThreadPoolExecutor = (
+                ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=multiprocessing.get_context("fork"),
+                    initializer=_init_worker,
+                    initargs=(db,),
+                )
+            )
+            # fork one worker eagerly so pool construction surfaces fork
+            # problems and the first query doesn't pay the whole spawn
+            self._executor.submit(_probe_worker).result()
+        else:
+            self._lock = threading.Lock()
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-morsel"
+            )
+        self.init_seconds = time.perf_counter() - started
+
+    def compatible(self, db: GraphDatabase) -> bool:
+        """Can this pool serve queries against *db* right now?"""
+        return (
+            not self.closed
+            and self._db is db
+            and self.generation == getattr(db, "index_generation", 0)
+        )
+
+    def submit(self, payload: Payload) -> "Future[StageResult]":
+        if self.closed:
+            raise RuntimeError("worker pool is closed")
+        if self.backend == "process":
+            return self._executor.submit(_run_stage, payload)
+        assert self._lock is not None
+        return self._executor.submit(_locked_stage, self._lock, payload, self._db)
+
+    def shutdown(self) -> None:
+        """Terminate the workers; idempotent."""
+        if not self.closed:
+            self.closed = True
+            self._executor.shutdown(wait=True, cancel_futures=True)
+
+
+def _probe_worker() -> bool:
+    """No-op warm-up task (also checks the initializer ran)."""
+    return _WORKER_DB is not None
+
+
+# ----------------------------------------------------------------------
+# per-run scheduling state
+# ----------------------------------------------------------------------
+@dataclass
+class ParallelStats:
+    """What the scheduler did during one run (``RunMetrics.parallel``)."""
+
+    workers: int
+    backend: str
+    morsel_size: int
+    #: morsels dispatched to the pool
+    morsels: int = 0
+    #: stages (or single-morsel stages) executed inline in the coordinator
+    inline_stages: int = 0
+    #: morsels cancelled before running (early close / row-limit abort)
+    cancelled_morsels: int = 0
+    #: pool construction time, 0.0 when an existing pool was reused
+    pool_init_seconds: float = 0.0
+
+
+class ParallelExecution:
+    """One plan execution, scheduled as morsels over a :class:`WorkerPool`.
+
+    Shared by both drivers: :meth:`results` yields the final stage's
+    merged rows lazily (upstream stages are drained eagerly — they feed
+    the partitioner), the driver pipes them through its own
+    :class:`ProjectOp`.  All coordinator-side bookkeeping (metric
+    merging, worker I/O and cache-count accumulation, cancellation) lives
+    here so the two drivers cannot diverge.
+    """
+
+    def __init__(
+        self,
+        db: GraphDatabase,
+        plan: Plan,
+        ctx: ExecutionContext,
+        operators: Sequence[PhysicalOperator],
+        project: ProjectOp,
+        pool: WorkerPool,
+        owns_pool: bool,
+    ) -> None:
+        self.db = db
+        self.plan = plan
+        self.ctx = ctx
+        self.operators = list(operators)
+        self.project = project
+        self.pool = pool
+        self.owns_pool = owns_pool
+        self.morsel_size = max(1, ctx.morsel_size or DEFAULT_MORSEL_SIZE)
+        #: set when the run is torn down before its output was exhausted
+        self.cancel_event = threading.Event()
+        self.stats = ParallelStats(
+            workers=pool.workers,
+            backend=pool.backend,
+            morsel_size=self.morsel_size,
+            pool_init_seconds=pool.init_seconds if owns_pool else 0.0,
+        )
+        #: summed per-worker I/O deltas (meaningful for the process
+        #: backend, whose workers charge their own forked stats object)
+        self.worker_io = IOStats()
+        #: summed per-worker CenterCache (hits, misses, evictions)
+        self.cache_counts = [0, 0, 0]
+        self._pending: List[Future] = []
+        self._exhausted = False
+        self._finished = False
+
+    # -- public driver surface -----------------------------------------
+    def results(self) -> Iterator[Row]:
+        """The final stage's merged output rows, lazily."""
+        try:
+            rows: Optional[List[Row]] = None
+            last = len(self.operators) - 1
+            for index, op in enumerate(self.operators):
+                if index < last:
+                    rows = list(self._stage(index, op, rows))
+                else:
+                    yield from self._stage(index, op, rows)
+            self._exhausted = True
+        finally:
+            self.finish()
+
+    def finish(self) -> None:
+        """Tear the run down; idempotent, safe to call at any point.
+
+        Cancels queued morsels (running ones cannot be interrupted; the
+        thread backend waits them out so their counters cannot bleed into
+        a later run's shared-stats delta) and shuts transient pools down.
+        Engine-owned pools are left alive for the next query.
+        """
+        if self._finished:
+            return
+        self._finished = True
+        if not self._exhausted:
+            self.cancel_event.set()
+        survivors: List[Future] = []
+        for future in self._pending:
+            if future.cancel():
+                self.stats.cancelled_morsels += 1
+            elif not future.done():
+                survivors.append(future)
+        self._pending = []
+        if survivors and self.pool.backend == "thread" and not self.owns_pool:
+            futures_wait(survivors)
+        if self.owns_pool:
+            self.pool.shutdown()
+
+    def worker_io_delta(self) -> IOStats:
+        """I/O performed in workers but *not* visible in the
+        coordinator's before/after delta (process backend only — thread
+        workers already charge the shared stats object)."""
+        return self.worker_io if self.pool.backend == "process" else IOStats()
+
+    # -- internals -----------------------------------------------------
+    def _payload(self, index: int, kind: str, data: Sequence) -> Payload:
+        return (
+            self.plan,
+            index,
+            self.ctx.batch_size,
+            self.ctx.center_cache is not None,
+            kind,
+            data,
+        )
+
+    def _stage(
+        self, index: int, op: PhysicalOperator, rows: Optional[List[Row]]
+    ) -> Iterator[Row]:
+        """Run one stage: partition, dispatch, merge in morsel order."""
+        if isinstance(op, SeedScanOp):
+            # a straight extent scan: partitioning it would only move the
+            # page reads around, run it inline
+            self.stats.inline_stages += 1
+            yield from op.rows(None)
+            return
+        if isinstance(op, SeedJoinOp):
+            kind = "centers"
+            worklist: Sequence = op.center_worklist()
+            size = center_morsel_size(self.morsel_size)
+        else:
+            kind = "rows"
+            worklist = rows if rows is not None else []
+            size = self.morsel_size
+        morsels = [worklist[i : i + size] for i in range(0, len(worklist), size)]
+        if len(morsels) <= 1:
+            # pool overhead cannot pay off on a single morsel; inline
+            # execution here is literally the sequential oracle's path
+            self.stats.inline_stages += 1
+            source = None if kind == "centers" else iter(worklist)
+            yield from op.rows(source)
+            return
+        futures = [
+            self.pool.submit(self._payload(index, kind, morsel))
+            for morsel in morsels
+        ]
+        self._pending = list(futures)
+        self.stats.morsels += len(futures)
+        metrics = op.metrics
+        # replay HPSJ's cross-morsel dedup in worklist order: local seen
+        # sets catch repeats within a morsel, this one catches repeats
+        # across them — together identical to the sequential seen set
+        seen: Optional[set] = set() if kind == "centers" else None
+        limit = self.ctx.row_limit
+        for position, future in enumerate(futures):
+            out_rows, counters, io_delta, cache_counts = future.result()
+            self._pending = futures[position + 1 :]
+            metrics.rows_in += counters[0]
+            metrics.centers_probed += counters[2]
+            metrics.nodes_fetched += counters[3]
+            self.worker_io.add(io_delta)
+            if cache_counts is not None:
+                for slot in range(3):
+                    self.cache_counts[slot] += cache_counts[slot]
+            for row in out_rows:
+                if seen is not None:
+                    if row in seen:
+                        continue
+                    seen.add(row)
+                metrics.rows_out += 1
+                if limit is not None and metrics.rows_out > limit:
+                    raise RowLimitExceeded(
+                        f"operator {op.name} exceeded {limit} rows"
+                    )
+                yield row
+        self._pending = []

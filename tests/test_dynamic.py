@@ -136,3 +136,44 @@ def test_property_auto_rebuild_never_changes_answers(n, seed, rebuild_after):
     for u in range(n):
         for v in range(n):
             assert with_rebuild.reaches(u, v) == without.reaches(u, v)
+
+
+class TestCacheInvalidationOnInsert:
+    """Regression: ``add_node`` must invalidate the labeling's derived
+    memos (the cached ``centers()`` frozenset and the sorted code-array
+    views).  Before the fix, warming those caches and then inserting a
+    node left ``centers()`` missing the new node and made
+    ``in_code_array``/``out_code_array`` raise IndexError for it.
+    """
+
+    def _warmed_oracle(self):
+        g = random_digraph(15, 0.15, seed=21)
+        oracle = DynamicReachability(g)
+        labeling = oracle.labeling
+        # warm both memos with pre-insert state
+        _ = labeling.centers()
+        _ = labeling.in_code_array(0)
+        _ = labeling.out_code_array(0)
+        return oracle
+
+    def test_new_node_appears_in_centers(self):
+        oracle = self._warmed_oracle()
+        stale = oracle.labeling.centers()
+        v = oracle.add_node("A")
+        assert v not in stale  # the memo really was warmed pre-insert
+        assert v in oracle.labeling.centers()
+
+    def test_code_arrays_cover_new_node(self):
+        oracle = self._warmed_oracle()
+        v = oracle.add_node("A")
+        assert list(oracle.labeling.in_code_array(v)) == [v]
+        assert list(oracle.labeling.out_code_array(v)) == [v]
+
+    def test_queries_after_warm_insert_match_bfs(self):
+        oracle = self._warmed_oracle()
+        v = oracle.add_node("A")
+        oracle.add_edge(0, v)
+        oracle.add_edge(v, 1)
+        assert oracle.reaches(0, v)
+        assert oracle.reaches(v, 1)
+        assert_matches_bfs(oracle)

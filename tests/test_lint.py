@@ -262,6 +262,64 @@ class TestUnusedImport:
 
 
 # ----------------------------------------------------------------------
+# lint/multiprocessing-outside-parallel
+# ----------------------------------------------------------------------
+class TestMultiprocessingOutsideParallel:
+    RULE = "lint/multiprocessing-outside-parallel"
+
+    def test_plain_import_flagged(self):
+        diags = lint("import multiprocessing\n",
+                     filename="src/repro/query/engine.py")
+        assert self.RULE in rules(diags)
+
+    def test_from_import_flagged(self):
+        diags = lint("from concurrent.futures import ProcessPoolExecutor\n",
+                     filename="src/repro/query/physical/drivers.py")
+        assert self.RULE in rules(diags)
+
+    def test_submodule_import_flagged(self):
+        diags = lint("import multiprocessing.pool\n",
+                     filename="src/repro/storage/stats.py")
+        assert self.RULE in rules(diags)
+
+    def test_parallel_module_is_allowed(self):
+        diags = lint(
+            """
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+            POOL = ProcessPoolExecutor
+            EXEC = ThreadPoolExecutor
+            CTX = multiprocessing
+            """,
+            filename="src/repro/query/physical/parallel.py",
+        )
+        assert self.RULE not in rules(diags)
+
+    def test_labeling_build_is_allowed(self):
+        diags = lint(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            POOL = ProcessPoolExecutor
+            """,
+            filename="src/repro/labeling/twohop.py",
+        )
+        assert self.RULE not in rules(diags)
+
+    def test_unrelated_concurrent_import_allowed(self):
+        diags = lint(
+            """
+            from concurrent.futures import Future
+
+            F = Future
+            """,
+            filename="src/repro/query/engine.py",
+        )
+        assert self.RULE not in rules(diags)
+
+
+# ----------------------------------------------------------------------
 # file handling + the self-gate
 # ----------------------------------------------------------------------
 class TestEntryPoints:
