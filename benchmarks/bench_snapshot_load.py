@@ -1,0 +1,119 @@
+"""Load-path benchmark: binary snapshot vs JSON persistence.
+
+The snapshot subsystem exists so a built database can be reopened
+without re-parsing JSON or rebuilding index structures: the file is
+mmap-ed, columns are served as zero-copy ``array('q')`` views and
+subclusters decode lazily on first probe.  This benchmark pins the
+payoff on the Figure-7 "L" dataset: the binary load must be at least
+``REQUIRED_SPEEDUP``x faster than the JSON load of the same database.
+
+Both loads are also *agreement-gated*: the snapshot-loaded database
+must answer a workload query with exactly the rows of the JSON-loaded
+one, so the speedup can never be bought with a correctness regression.
+
+Allocation peaks come from ``tracemalloc`` (Python-heap peak during the
+load), the closest portable proxy for resident-set growth: the JSON
+path materializes every code set and subcluster up front, the snapshot
+path allocates only bookkeeping.
+
+Run with: pytest benchmarks/bench_snapshot_load.py -s
+Results land in ``benchmarks/results/BENCH_snapshot_load.json``.
+"""
+
+import os
+import time
+import tracemalloc
+
+import pytest
+
+from repro.db.persist import load_database, save_database
+from repro.graph import xmark
+from repro.query.engine import GraphEngine
+
+from conftest import BENCH_BUDGET, BENCH_SEED
+
+#: acceptance floor for json_ms / snapshot_ms on the Figure-7 "L" graph
+REQUIRED_SPEEDUP = 5.0
+
+#: repetitions per timed load; the minimum is reported
+REPEATS = 3
+
+#: the agreement-gate pattern (labels exist at every XMark scale)
+GATE_PATTERN = "person -> watch"
+
+
+@pytest.fixture(scope="module")
+def saved_paths(tmp_path_factory):
+    """The Figure-7 "L" database saved once in both formats."""
+    data = xmark.dataset("L", entity_budget=BENCH_BUDGET, seed=BENCH_SEED)
+    db = GraphEngine(data.graph).db
+    base = tmp_path_factory.mktemp("snapload")
+    json_path = str(base / "fig7L.db.json")
+    snap_path = str(base / "fig7L.snap")
+    save_database(db, json_path)
+    save_database(db, snap_path)
+    return json_path, snap_path
+
+
+def _timed_load(path):
+    best = float("inf")
+    db = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        db = load_database(path)
+        best = min(best, time.perf_counter() - start)
+    return best * 1000.0, db
+
+
+def _alloc_peak_kib(path):
+    tracemalloc.start()
+    try:
+        db = load_database(path)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    del db
+    return peak / 1024.0
+
+
+def test_snapshot_load_beats_json(saved_paths, bench_record):
+    json_path, snap_path = saved_paths
+    json_ms, json_db = _timed_load(json_path)
+    snap_ms, snap_db = _timed_load(snap_path)
+
+    # agreement gate before any timing claims
+    oracle = GraphEngine.from_database(json_db).match(GATE_PATTERN)
+    candidate = GraphEngine.from_database(snap_db).match(GATE_PATTERN)
+    assert candidate.rows == oracle.rows, "snapshot-loaded rows diverge"
+    assert snap_db.join_index.wtable_sizes() == json_db.join_index.wtable_sizes()
+
+    json_peak_kib = _alloc_peak_kib(json_path)
+    snap_peak_kib = _alloc_peak_kib(snap_path)
+    speedup = json_ms / snap_ms if snap_ms else float("inf")
+
+    bench_record.add(
+        query="load@L",
+        optimizer="json",
+        wall_ms=json_ms,
+        rows=json_db.graph.node_count,
+        file_bytes=os.path.getsize(json_path),
+        alloc_peak_kib=round(json_peak_kib, 1),
+    )
+    bench_record.add(
+        query="load@L",
+        optimizer="snapshot",
+        wall_ms=snap_ms,
+        rows=snap_db.graph.node_count,
+        file_bytes=os.path.getsize(snap_path),
+        alloc_peak_kib=round(snap_peak_kib, 1),
+        speedup=round(speedup, 2),
+    )
+    print(
+        f"\n[snapshot] load@L json={json_ms:.1f}ms snap={snap_ms:.1f}ms "
+        f"speedup={speedup:.1f}x alloc {json_peak_kib:.0f}->"
+        f"{snap_peak_kib:.0f} KiB"
+    )
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"binary snapshot load is only {speedup:.2f}x faster than JSON "
+        f"(required >= {REQUIRED_SPEEDUP}x)"
+    )

@@ -24,7 +24,7 @@ from .diagnostics import (
     has_errors,
     warnings,
 )
-from .indexaudit import audit_database, check_bptree
+from .indexaudit import audit_database, audit_snapshot, check_bptree
 from .lint import lint_paths, lint_project, lint_source
 from .plancheck import PlanVerificationError, check_plan
 
@@ -36,6 +36,7 @@ __all__ = [
     "PlanVerificationError",
     "Severity",
     "audit_database",
+    "audit_snapshot",
     "check_bptree",
     "check_plan",
     "errors",

@@ -37,6 +37,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..db.database import GraphDatabase
 from ..graph.traversal import reachable_set
 from ..storage.bptree import BPlusTree
+from ..storage.snapshot import Snapshot, SnapshotError
 from .diagnostics import Diagnostic, Severity
 
 # B+-tree node tags (storage/bptree.py stores nodes as ["L"|"I", ...]);
@@ -410,8 +411,12 @@ def audit_database(
     out = _Reporter(max_examples)
     _audit_cover(db, out, exact_threshold, sample_rows, seed)
     _audit_wtable(db, out)
-    check_bptree(db.join_index.index_tree, out)
-    check_bptree(db.join_index.wtable_tree, out)
+    # snapshot-backed indexes have no trees; the file-level CRC/geometry
+    # checks (audit_snapshot) replace the structural tree audit there
+    if db.join_index.index_tree is not None:
+        check_bptree(db.join_index.index_tree, out)
+    if db.join_index.wtable_tree is not None:
+        check_bptree(db.join_index.wtable_tree, out)
     for label in db.labels():
         table = db.base_table(label)
         if table.pk_index is not None:
@@ -424,3 +429,97 @@ def audit_database(
                     f"the table has {len(table)} rows",
                 )
     return out.finish()
+
+
+# ----------------------------------------------------------------------
+# offline snapshot-file audit
+# ----------------------------------------------------------------------
+def audit_snapshot(path: str, max_examples: int = 10) -> List[Diagnostic]:
+    """Audit a binary snapshot *file* without loading a database.
+
+    :meth:`Snapshot.open` already enforces magic, version, section-table
+    geometry and every section's CRC — a failure there becomes a single
+    ``snapshot/unreadable`` finding.  On a readable file this decodes
+    every column and checks the semantic invariants the lazy read path
+    assumes but never re-verifies: code rows and subcluster runs strictly
+    increasing, self-membership of every node's codes, the center
+    directory sorted, and every W-table or subcluster reference pointing
+    at a known center / label id.
+    """
+    out = _Reporter(max_examples)
+    try:
+        snapshot = Snapshot.open(path)
+    except SnapshotError as exc:
+        out.report("snapshot/unreadable", path, str(exc))
+        return out.finish()
+    try:
+        _audit_snapshot_columns(snapshot, out)
+    finally:
+        snapshot.close()
+    return out.finish()
+
+
+def _audit_snapshot_columns(snapshot: Snapshot, out: _Reporter) -> None:
+    source = snapshot.path
+    centers = list(snapshot.centers())
+    if _keys_unsorted(centers):
+        out.report(
+            "snapshot/center-order", source,
+            "the center directory is not strictly increasing",
+        )
+    center_set = set(centers)
+
+    for node in range(snapshot.node_count):
+        for side, code in (
+            ("in", snapshot.in_code_array(node)),
+            ("out", snapshot.out_code_array(node)),
+        ):
+            if _keys_unsorted(list(code)):
+                out.report(
+                    "snapshot/code-order", source,
+                    f"{side}({node}) decodes to a non-increasing run",
+                )
+            elif node not in set(code):
+                out.report(
+                    "snapshot/code-missing-self", source,
+                    f"{side}({node}) does not contain the node itself",
+                )
+
+    label_count = snapshot.label_count
+    for position, pair in enumerate(snapshot.wtable_pairs()):
+        run = list(snapshot.wtable_centers(position))
+        if _keys_unsorted(run):
+            out.report(
+                "snapshot/wtable-order", source,
+                f"W{pair} center run is not strictly increasing",
+            )
+        for center in run:
+            if center not in center_set:
+                out.report(
+                    "snapshot/wtable-unknown-center", source,
+                    f"W{pair} lists center {center} which has no cluster entry",
+                )
+
+    for position, center in enumerate(centers):
+        f_sub, t_sub = snapshot.subclusters_at(position)
+        for side_name, subclusters in (("F", f_sub), ("T", t_sub)):
+            for label, nodes in subclusters.items():
+                if label not in snapshot.label_names or label_count == 0:
+                    out.report(
+                        "snapshot/subcluster-unknown-label", source,
+                        f"center {center}: {side_name}-subcluster uses "
+                        f"unknown label {label!r}",
+                    )
+                if _keys_unsorted(list(nodes)):
+                    out.report(
+                        "snapshot/subcluster-order", source,
+                        f"center {center}: {side_name}-subcluster for "
+                        f"{label!r} is not strictly increasing",
+                    )
+                for node in nodes:
+                    if not 0 <= node < snapshot.node_count:
+                        out.report(
+                            "snapshot/subcluster-unknown-node", source,
+                            f"center {center}: subcluster node {node} is "
+                            "outside the snapshot's node range",
+                        )

@@ -21,6 +21,11 @@ encodes them directly and runs as part of ``repro check --self`` and CI:
   routes parallel execution through the ``WorkerPool``/``workers=`` API,
   so pool lifecycle, fork-safety and metric merging stay in one audited
   place.
+* ``lint/mmap-outside-snapshot`` — :mod:`mmap` and :mod:`struct` imports
+  are confined to :mod:`repro.storage.snapshot`: every binary-layout
+  assumption (byte order, alignment, section framing) lives in the one
+  module whose CRC/geometry checks can enforce it.  Other code handles
+  snapshot *objects*, never raw bytes.
 * ``lint/mutable-default`` — no mutable default arguments (list/dict/set
   literals, comprehensions, or ``list()``/``dict()``/``set()`` calls):
   the shared-instance trap.
@@ -81,6 +86,20 @@ def _is_multiprocessing(module: str) -> bool:
     return module == "multiprocessing" or module.startswith("multiprocessing.")
 
 
+#: modules whose import means hand-rolled binary layout handling
+_BINARY_LAYOUT_MODULES = frozenset({"mmap", "struct"})
+
+
+def _may_import_binary_layout(filename: str) -> bool:
+    """Only the snapshot module owns raw binary layout (mmap/struct)."""
+    path = Path(filename)
+    return path.name == "snapshot.py" and "storage" in path.parts
+
+
+def _is_binary_layout(module: str) -> bool:
+    return module.split(".")[0] in _BINARY_LAYOUT_MODULES
+
+
 #: ``concurrent.futures`` names that create worker pools — importing one
 #: means owning a pool, which belongs in the morsel scheduler
 _POOL_EXECUTORS = frozenset({"ProcessPoolExecutor", "ThreadPoolExecutor"})
@@ -107,6 +126,7 @@ class _LintVisitor(ast.NodeVisitor):
         self.source = source
         self.in_query_layer = _is_query_module(filename)
         self.may_multiprocess = _may_import_multiprocessing(filename)
+        self.may_binary_layout = _may_import_binary_layout(filename)
         self.is_init = Path(filename).name == "__init__.py"
         self.diagnostics: List[Diagnostic] = []
         self.imports: List[tuple] = []  # (name, lineno, import statement text)
@@ -151,6 +171,14 @@ class _LintVisitor(ast.NodeVisitor):
                     "in repro.query.physical.parallel (and the labeling "
                     "build) — use the workers=/WorkerPool API instead",
                 )
+            if _is_binary_layout(alias.name) and not self.may_binary_layout:
+                self.report(
+                    "lint/mmap-outside-snapshot",
+                    node.lineno,
+                    f"direct import of {alias.name!r}; binary layout "
+                    "handling is confined to repro.storage.snapshot — "
+                    "operate on Snapshot objects, not raw bytes",
+                )
             self.imports.append(
                 (alias.asname or alias.name.split(".")[0], node.lineno)
             )
@@ -167,6 +195,14 @@ class _LintVisitor(ast.NodeVisitor):
                 f"direct import from {module!r}; pool ownership lives in "
                 "repro.query.physical.parallel (and the labeling build) — "
                 "use the workers=/WorkerPool API instead",
+            )
+        if _is_binary_layout(module) and not self.may_binary_layout:
+            self.report(
+                "lint/mmap-outside-snapshot",
+                node.lineno,
+                f"direct import from {module!r}; binary layout handling is "
+                "confined to repro.storage.snapshot — operate on Snapshot "
+                "objects, not raw bytes",
             )
         if module == "concurrent.futures" and not self.may_multiprocess:
             for alias in node.names:

@@ -124,7 +124,8 @@ class _PlanChecker:
         if self.db is None:
             return
         x_label, y_label = self.pattern.condition_labels(condition)
-        if x_label not in self.db.base_tables or y_label not in self.db.base_tables:
+        known = self.db.labels()
+        if x_label not in known or y_label not in known:
             return  # unknown-label error already reported in the preamble
         if not self.db.join_index.centers(x_label, y_label):
             self.report(
@@ -254,7 +255,7 @@ class _PlanChecker:
     # ------------------------------------------------------------------
     def run(self) -> List[Diagnostic]:
         if self.db is not None:
-            known = set(self.db.base_tables)
+            known = set(self.db.labels())
             for var in self.pattern.variables:
                 label = self.pattern.label(var)
                 if label not in known:

@@ -7,6 +7,9 @@ Usage (also via ``python -m repro``)::
     repro query auctions.db.json "person -> watch, watch -> open_auction"
     repro query auctions.db.json "A -> B" --explain --optimizer dp
     repro query auctions.db.json "A -> B" --limit 5      # streamed probe
+    repro snapshot save auctions.db.json auctions.snap   # binary snapshot
+    repro snapshot load auctions.snap                    # timed reload
+    repro snapshot info auctions.snap                    # header + sections
     repro bench --budget 800                             # mini comparison
 
 The CLI wraps the library's public API one-to-one; anything it prints can
@@ -172,15 +175,75 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    from .storage.snapshot import Snapshot, SnapshotError
+
+    if args.action == "save":
+        db = load_database(args.source)
+        started = time.perf_counter()
+        save_database(db, args.out, format="snapshot")
+        elapsed = (time.perf_counter() - started) * 1e3
+        with_snapshot = Snapshot.open(args.out)
+        try:
+            print(f"wrote {args.out}: {with_snapshot.file_size()} bytes "
+                  f"in {elapsed:.1f} ms "
+                  f"({with_snapshot.node_count} nodes, "
+                  f"{with_snapshot.center_count} centers, "
+                  f"{len(with_snapshot.section_table())} sections)")
+        finally:
+            with_snapshot.close()
+        return 0
+
+    if args.action == "load":
+        started = time.perf_counter()
+        try:
+            engine = GraphEngine.from_snapshot(args.file)
+        except SnapshotError as exc:
+            print(f"snapshot error: {exc}", file=sys.stderr)
+            return 1
+        elapsed = (time.perf_counter() - started) * 1e3
+        db = engine.db
+        print(f"loaded {args.file} in {elapsed:.1f} ms")
+        print(f"{'nodes':>12}: {db.graph.node_count}")
+        print(f"{'edges':>12}: {db.graph.edge_count}")
+        print(f"{'centers':>12}: {db.join_index.center_count}")
+        print(f"{'labels':>12}: {len(db.labels())}")
+        return 0
+
+    # info
+    try:
+        snapshot = Snapshot.open(args.file)
+    except SnapshotError as exc:
+        print(f"snapshot error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        print(f"{args.file}: snapshot v1, {snapshot.file_size()} bytes")
+        print(f"{'nodes':>12}: {snapshot.node_count}")
+        print(f"{'edges':>12}: {snapshot.edge_count}")
+        print(f"{'labels':>12}: {snapshot.label_count}")
+        print(f"{'centers':>12}: {snapshot.center_count}")
+        print(f"{'W pairs':>12}: {snapshot.wtable_pair_count}")
+        print(f"{'sub runs':>12}: {snapshot.subcluster_runs}")
+        print("\nsection table:")
+        print(f"  {'name':<12} {'offset':>10} {'bytes':>10}")
+        for name, offset, length in snapshot.section_table():
+            print(f"  {name:<12} {offset:>10} {length:>10}")
+    finally:
+        snapshot.close()
+    return 0
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     from .analysis import (
         audit_database,
+        audit_snapshot,
         check_plan,
         errors,
         format_report,
         has_errors,
         lint_project,
     )
+    from .storage.snapshot import is_snapshot
 
     if args.patterns and args.database is None:
         print("--pattern requires a database to plan against", file=sys.stderr)
@@ -197,6 +260,21 @@ def _cmd_check(args: argparse.Namespace) -> int:
         print(format_report(diagnostics) if diagnostics else "ok")
 
     if args.database is not None:
+        if is_snapshot(args.database):
+            # file-level checks first: CRC/geometry plus the decoded-column
+            # invariants the lazy read path assumes (offline, no database)
+            snapshot_diags = audit_snapshot(args.database)
+            section(f"snapshotaudit {args.database}", snapshot_diags)
+            if has_errors(snapshot_diags):
+                # an unreadable or inconsistent file cannot back the
+                # database-level passes; report what was found and stop
+                error_count = len(errors(all_diags))
+                warning_count = len(all_diags) - error_count
+                print(
+                    f"-- {error_count} error(s), {warning_count} warning(s)",
+                    file=sys.stderr,
+                )
+                return 1
         engine = GraphEngine.from_database(load_database(args.database))
         section(
             f"indexaudit {args.database}",
@@ -255,7 +333,9 @@ def build_parser() -> argparse.ArgumentParser:
                          default=None,
                          help="pool backend for --workers (default: process "
                               "where fork exists)")
-    p_build.add_argument("--out", required=True, help="output .json path")
+    p_build.add_argument("--out", required=True,
+                         help="output path (.snap writes a binary snapshot, "
+                              "anything else JSON)")
     p_build.set_defaults(func=_cmd_build)
 
     p_stats = sub.add_parser("stats", help="show a saved database's statistics")
@@ -301,6 +381,28 @@ def build_parser() -> argparse.ArgumentParser:
                          help="rows to print without --all (default 20)")
     p_query.add_argument("--all", action="store_true", help="print every row")
     p_query.set_defaults(func=_cmd_query)
+
+    p_snapshot = sub.add_parser(
+        "snapshot",
+        help="binary snapshot tools: save, timed load, file inspection",
+    )
+    snap_sub = p_snapshot.add_subparsers(dest="action", required=True)
+    p_snap_save = snap_sub.add_parser(
+        "save", help="convert a saved database (either format) to a snapshot"
+    )
+    p_snap_save.add_argument("source", help="existing database file (.json or .snap)")
+    p_snap_save.add_argument("out", help="output snapshot path")
+    p_snap_save.set_defaults(func=_cmd_snapshot)
+    p_snap_load = snap_sub.add_parser(
+        "load", help="open a snapshot, report load time and structure sizes"
+    )
+    p_snap_load.add_argument("file")
+    p_snap_load.set_defaults(func=_cmd_snapshot)
+    p_snap_info = snap_sub.add_parser(
+        "info", help="print a snapshot's header counters and section table"
+    )
+    p_snap_info.add_argument("file")
+    p_snap_info.set_defaults(func=_cmd_snapshot)
 
     p_check = sub.add_parser(
         "check",

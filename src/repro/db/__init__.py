@@ -2,7 +2,7 @@
 
 from .catalog import Catalog, PairStats
 from .database import CodeCache, GraphDatabase
-from .join_index import ClusterRJoinIndex
+from .join_index import ClusterRJoinIndex, SnapshotRJoinIndex
 from .persist import load_database, save_database
 
 __all__ = [
@@ -11,6 +11,7 @@ __all__ = [
     "CodeCache",
     "GraphDatabase",
     "ClusterRJoinIndex",
+    "SnapshotRJoinIndex",
     "load_database",
     "save_database",
 ]

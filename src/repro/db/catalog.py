@@ -44,6 +44,23 @@ class Catalog:
         self._pairs: Dict[Tuple[str, str], PairStats] = {}
         self._build(graph, labeling)
 
+    @classmethod
+    def from_stats(
+        cls,
+        extent_sizes: Dict[str, int],
+        pairs: Dict[Tuple[str, str], PairStats],
+    ) -> "Catalog":
+        """Rehydrate a catalog from precomputed statistics.
+
+        The eager constructor walks every cluster of the labeling; a
+        snapshot already carries the finished per-pair statistics, so
+        loading must not pay (or trigger) that scan.
+        """
+        catalog = cls.__new__(cls)
+        catalog.extent_sizes = dict(extent_sizes)
+        catalog._pairs = dict(pairs)
+        return catalog
+
     def _build(self, graph: DiGraph, labeling: TwoHopLabeling) -> None:
         sums: Dict[Tuple[str, str], int] = {}
         centers: Dict[Tuple[str, str], int] = {}

@@ -26,8 +26,8 @@ from ..storage.buffer import DEFAULT_BUFFER_BYTES, BufferPool
 from ..storage.pages import DEFAULT_PAGE_SIZE, DiskManager
 from ..storage.stats import IOStats
 from ..storage.table import Table
-from .catalog import Catalog
-from .join_index import ClusterRJoinIndex
+from .catalog import Catalog, PairStats
+from .join_index import ClusterRJoinIndex, SnapshotRJoinIndex
 
 
 @dataclass
@@ -102,6 +102,7 @@ class GraphDatabase:
                 f"{self.labeling.node_count} nodes but graph has {graph.node_count}"
             )
         self.base_tables: Dict[str, Table] = {}
+        self._table_labels: Tuple[str, ...] = tuple(sorted(graph.extents()))
         self._load_base_tables()
         self.join_index = ClusterRJoinIndex(self.pool, graph, self.labeling)
         self.catalog = Catalog(graph, self.labeling)
@@ -113,39 +114,97 @@ class GraphDatabase:
         self.pool.flush_all()
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_snapshot(
+        cls,
+        snapshot,
+        buffer_bytes: int = DEFAULT_BUFFER_BYTES,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        code_cache_enabled: bool = True,
+    ) -> "GraphDatabase":
+        """Construct a database that serves from a binary snapshot.
+
+        Nothing expensive is rebuilt: codes come from the labeling's
+        array source (lazy delta decodes of the mapping), the R-join
+        index and W-table are a :class:`SnapshotRJoinIndex` over the
+        same mapping, the catalog is rehydrated from the stored
+        statistics, and base tables materialize per label on first
+        access.  Only the graph itself (O(V+E), needed for labels and
+        extents everywhere) is reconstructed eagerly.
+        """
+        db = cls.__new__(cls)
+        db.graph = snapshot.build_graph()
+        db.stats = IOStats()
+        db.pool = BufferPool(
+            DiskManager(page_size=page_size),
+            capacity_bytes=buffer_bytes,
+            stats=db.stats,
+        )
+        db.labeling = TwoHopLabeling.from_array_source(
+            snapshot.node_count, snapshot.in_code_array, snapshot.out_code_array
+        )
+        db.base_tables = {}
+        db._table_labels = tuple(snapshot.label_names)
+        db.join_index = SnapshotRJoinIndex(snapshot)
+        db.catalog = Catalog.from_stats(
+            snapshot.extent_sizes(),
+            {
+                pair: PairStats(*stats)
+                for pair, stats in snapshot.catalog_pairs().items()
+            },
+        )
+        db.code_cache = CodeCache(enabled=code_cache_enabled)
+        db._node_labels = list(db.graph.labels())
+        db.index_generation = 0
+        return db
+
+    # ------------------------------------------------------------------
     def _load_base_tables(self) -> None:
-        for label, nodes in sorted(self.graph.extents().items()):
-            table = Table(
-                self.pool,
-                name=f"T_{label}",
-                columns=(label, f"{label}_in", f"{label}_out"),
-                primary_key=label,
-            )
-            for node in nodes:
-                in_code = self.labeling.in_codes[node]
-                out_code = self.labeling.out_codes[node]
-                table.insert(
-                    (
-                        node,
-                        tuple(sorted(in_code - {node})),
-                        tuple(sorted(out_code - {node})),
-                    )
+        for label in self._table_labels:
+            self._materialize_table(label)
+
+    def _materialize_table(self, label: str) -> Table:
+        nodes = self.graph.extent(label)
+        table = Table(
+            self.pool,
+            name=f"T_{label}",
+            columns=(label, f"{label}_in", f"{label}_out"),
+            primary_key=label,
+        )
+        for node in sorted(nodes):
+            in_code = self.labeling.in_codes[node]
+            out_code = self.labeling.out_codes[node]
+            table.insert(
+                (
+                    node,
+                    tuple(sorted(in_code - {node})),
+                    tuple(sorted(out_code - {node})),
                 )
-            self.base_tables[label] = table
+            )
+        self.base_tables[label] = table
+        return table
 
     # ------------------------------------------------------------------
     # public access paths
     # ------------------------------------------------------------------
     def labels(self) -> Tuple[str, ...]:
-        return tuple(sorted(self.base_tables))
+        return self._table_labels
 
     def base_table(self, label: str) -> Table:
-        try:
-            return self.base_tables[label]
-        except KeyError:
+        """The base table ``T_label``, materializing it on first access.
+
+        Snapshot-loaded databases defer table construction per label —
+        most workloads touch a handful of the |Σ| tables, and the seed
+        scan is the only operator that needs row storage at all.
+        """
+        table = self.base_tables.get(label)
+        if table is not None:
+            return table
+        if label not in self._table_labels:
             raise KeyError(
                 f"no base table for label {label!r}; labels are {self.labels()}"
-            ) from None
+            )
+        return self._materialize_table(label)
 
     def node_label(self, node: int) -> str:
         return self._node_labels[node]
@@ -207,6 +266,8 @@ class GraphDatabase:
         the whole simulated disk.  Useful for sizing buffer budgets and
         for the Table 2-style reporting the CLI's ``stats`` command does.
         """
+        for label in self._table_labels:  # a report covers *every* table
+            self.base_table(label)
         report: Dict[str, Dict[str, int]] = {}
         for label, table in sorted(self.base_tables.items()):
             report[f"T_{label}"] = {
@@ -227,6 +288,11 @@ class GraphDatabase:
         The generation bump is the invalidation signal for cross-query
         caches: anything keyed on centers or subclusters (the engine's
         CenterCache) must drop its entries when this runs.
+
+        On a snapshot-loaded database this converts the lazy
+        :class:`SnapshotRJoinIndex` into a live tree-backed index (the
+        snapshot file cannot reflect label mutations), which is exactly
+        what the dynamic-maintenance layer needs after edits.
         """
         self.join_index = ClusterRJoinIndex(self.pool, self.graph, self.labeling)
         self.catalog = Catalog(self.graph, self.labeling)
@@ -241,7 +307,7 @@ class GraphDatabase:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"GraphDatabase(labels={len(self.base_tables)}, "
+            f"GraphDatabase(labels={len(self._table_labels)}, "
             f"nodes={self.graph.node_count}, "
             f"centers={self.join_index.center_count})"
         )

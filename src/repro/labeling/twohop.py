@@ -43,6 +43,59 @@ from ..graph.digraph import DiGraph
 from ..graph.traversal import TransitiveClosure
 
 
+class _LazyCodes:
+    """A code column decoded on demand from an external array source.
+
+    Snapshot-loaded labelings don't hold materialized frozensets — they
+    hold a fetch function returning the sorted ``array('q')`` row for a
+    node (ultimately a delta decode of an mmap slice).  This sequence
+    presents the classic ``in_codes``/``out_codes`` interface on top of
+    that source: ``[node]`` builds (and memoizes) the frozenset only for
+    the rows actually touched, and ``append`` keeps the dynamic
+    maintenance layer working — inserted nodes live in a plain overflow
+    list past the snapshot's row count.
+    """
+
+    __slots__ = ("_count", "_fetch", "_memo", "_extra")
+
+    def __init__(self, count: int, fetch) -> None:
+        self._count = count
+        self._fetch = fetch
+        self._memo: Dict[int, FrozenSet[int]] = {}
+        self._extra: List[FrozenSet[int]] = []
+
+    def __len__(self) -> int:
+        return self._count + len(self._extra)
+
+    def __getitem__(self, node: int) -> FrozenSet[int]:
+        if node < 0:
+            node += len(self)
+        if not 0 <= node < len(self):
+            raise IndexError(node)
+        if node >= self._count:
+            return self._extra[node - self._count]
+        code = self._memo.get(node)
+        if code is None:
+            code = self._memo[node] = frozenset(self._fetch(node))
+        return code
+
+    def __iter__(self):
+        for node in range(len(self)):
+            yield self[node]
+
+    def append(self, code: FrozenSet[int]) -> None:
+        self._extra.append(code)
+
+    def __eq__(self, other: object) -> bool:
+        # supports dataclass equality against a plain-list labeling
+        if isinstance(other, (list, _LazyCodes)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_LazyCodes(count={len(self)}, decoded={len(self._memo)})"
+
+
 @dataclass
 class TwoHopLabeling:
     """Graph codes ``in(x)``/``out(x)`` for every node of a digraph.
@@ -65,6 +118,34 @@ class TwoHopLabeling:
     _centers: Optional[FrozenSet[int]] = field(
         default=None, init=False, repr=False, compare=False
     )
+    # optional external array sources (snapshot adoption): fetch functions
+    # returning the sorted array('q') code row for nodes < _source_count
+    _in_source: Optional[object] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _out_source: Optional[object] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _source_count: int = field(default=0, init=False, repr=False, compare=False)
+
+    @classmethod
+    def from_array_source(cls, count: int, in_fetch, out_fetch) -> "TwoHopLabeling":
+        """Adopt externally-stored codes without copying them.
+
+        *in_fetch* / *out_fetch* map a node id to its sorted
+        ``array('q')`` code row (e.g. a lazy delta decode out of an
+        mmap-backed snapshot).  ``in_code_array``/``out_code_array``
+        serve straight from the source, and the ``in_codes``/
+        ``out_codes`` sequences build frozensets per node only when a
+        caller actually asks for set semantics.
+        """
+        labeling = cls(in_codes=[], out_codes=[])
+        labeling._in_source = in_fetch
+        labeling._out_source = out_fetch
+        labeling._source_count = count
+        labeling.in_codes = _LazyCodes(count, in_fetch)  # type: ignore[assignment]
+        labeling.out_codes = _LazyCodes(count, out_fetch)  # type: ignore[assignment]
+        return labeling
 
     def reaches(self, u: int, v: int) -> bool:
         """``u ~> v`` iff ``out(u) ∩ in(v) ≠ ∅`` (paper Example 3.1)."""
@@ -115,7 +196,10 @@ class TwoHopLabeling:
             arrays.extend([None] * self.node_count)
         code = arrays[node]
         if code is None:
-            code = arrays[node] = array("q", sorted(self.in_codes[node]))
+            if self._in_source is not None and node < self._source_count:
+                code = arrays[node] = self._in_source(node)  # type: ignore[operator]
+            else:
+                code = arrays[node] = array("q", sorted(self.in_codes[node]))
         return code
 
     def out_code_array(self, node: int) -> "array[int]":
@@ -125,7 +209,10 @@ class TwoHopLabeling:
             arrays.extend([None] * self.node_count)
         code = arrays[node]
         if code is None:
-            code = arrays[node] = array("q", sorted(self.out_codes[node]))
+            if self._out_source is not None and node < self._source_count:
+                code = arrays[node] = self._out_source(node)  # type: ignore[operator]
+            else:
+                code = arrays[node] = array("q", sorted(self.out_codes[node]))
         return code
 
     def cover_size(self) -> int:

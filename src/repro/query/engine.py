@@ -111,6 +111,24 @@ class GraphEngine:
         engine.parallel_backend = parallel_backend
         return engine
 
+    @classmethod
+    def from_snapshot(cls, path: str, **kwargs) -> "GraphEngine":
+        """Open a binary snapshot file and serve queries from it.
+
+        The database constructs around the mmap-backed snapshot with no
+        index rebuild (:meth:`GraphDatabase.from_snapshot`); keyword
+        arguments are those of :meth:`from_database`.  The engine starts
+        with a fresh :class:`CenterCache` and worker pool, both keyed on
+        the new database's ``index_generation`` — nothing can leak from
+        whatever engine wrote the snapshot.
+        """
+        from ..db.persist import load_database
+        from ..storage.snapshot import SnapshotError, is_snapshot
+
+        if not is_snapshot(path):
+            raise SnapshotError(f"{path!r} is not a binary snapshot")
+        return cls.from_database(load_database(path), **kwargs)
+
     #: class-level fallbacks so hand-wrapped engines (``__new__`` + attribute
     #: assignment, as older callers do) default to the scalar sequential path
     batch_size: Optional[int] = None
@@ -298,7 +316,7 @@ class GraphEngine:
 
     # ------------------------------------------------------------------
     def _check_labels(self, pattern: GraphPattern) -> None:
-        known = set(self.db.base_tables)
+        known = set(self.db.labels())
         for var in pattern.variables:
             label = pattern.label(var)
             if label not in known:

@@ -36,7 +36,14 @@ class BufferPool:
 
     # ------------------------------------------------------------------
     def new_page(self) -> Page:
-        """Allocate a fresh page and pin it into the pool (counted as a hit)."""
+        """Allocate a fresh page and admit it into the pool.
+
+        Allocation is *not* an I/O event: no existing page is read, so
+        neither ``logical_reads`` nor ``physical_reads`` moves.  The
+        first write-back of the (dirty) page is what shows up in
+        ``physical_writes``.  This is the contract the I/O-count
+        assertions throughout the test suite are calibrated against.
+        """
         page = self.disk.allocate()
         self._admit(page)
         return page

@@ -92,6 +92,68 @@ class TestCommands:
         assert "__disk__" in out
 
 
+class TestSnapshot:
+    @pytest.fixture(scope="class")
+    def snap_path(self, db_path, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-snap") / "test.snap"
+        assert main(["snapshot", "save", db_path, str(path)]) == 0
+        return str(path)
+
+    def test_save_reports_sections(self, db_path, tmp_path, capsys):
+        out_path = tmp_path / "s.snap"
+        assert main(["snapshot", "save", db_path, str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "sections" in out and "bytes" in out
+
+    def test_load_reports_timing_and_sizes(self, snap_path, capsys):
+        assert main(["snapshot", "load", snap_path]) == 0
+        out = capsys.readouterr().out
+        assert "ms" in out and "centers" in out
+
+    def test_info_prints_section_table(self, snap_path, capsys):
+        assert main(["snapshot", "info", snap_path]) == 0
+        out = capsys.readouterr().out
+        assert "section table" in out
+        assert "inval" in out and "subval" in out
+
+    def test_load_rejects_json(self, db_path, capsys):
+        assert main(["snapshot", "load", db_path]) == 1
+        assert "snapshot error" in capsys.readouterr().err
+
+    def test_build_out_snap_writes_snapshot(self, tmp_path, capsys):
+        from repro.storage.snapshot import is_snapshot
+
+        path = tmp_path / "built.snap"
+        assert main(["build", "--factor", "0.1", "--budget", "300",
+                     "--seed", "3", "--out", str(path)]) == 0
+        assert is_snapshot(str(path))
+
+    def test_query_and_stats_work_on_snapshot(self, snap_path, capsys):
+        assert main(["query", snap_path, "itemref -> item"]) == 0
+        assert "itemref\titem" in capsys.readouterr().out
+        assert main(["stats", snap_path]) == 0
+        assert "|H|" in capsys.readouterr().out
+
+    def test_check_runs_snapshot_audit_section(self, snap_path, capsys):
+        assert main(["check", snap_path]) == 0
+        out = capsys.readouterr().out
+        assert "== snapshotaudit" in out
+        assert "== indexaudit" in out
+
+    def test_check_stops_cleanly_on_corrupt_snapshot(
+        self, snap_path, tmp_path, capsys
+    ):
+        payload = bytearray(open(snap_path, "rb").read())
+        payload[len(payload) // 2] ^= 0xFF
+        bad = tmp_path / "corrupt.snap"
+        bad.write_bytes(bytes(payload))
+        assert main(["check", str(bad)]) == 1
+        captured = capsys.readouterr()
+        assert "snapshot/unreadable" in captured.out
+        assert "== indexaudit" not in captured.out
+        assert "1 error(s)" in captured.err
+
+
 class TestCheck:
     def test_no_target_is_usage_error(self, capsys):
         assert main(["check"]) == 2

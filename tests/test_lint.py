@@ -320,6 +320,47 @@ class TestMultiprocessingOutsideParallel:
 
 
 # ----------------------------------------------------------------------
+# lint/mmap-outside-snapshot
+# ----------------------------------------------------------------------
+class TestMmapOutsideSnapshot:
+    RULE = "lint/mmap-outside-snapshot"
+
+    def test_mmap_import_flagged(self):
+        diags = lint("import mmap\n",
+                     filename="src/repro/db/persist.py")
+        assert self.RULE in rules(diags)
+
+    def test_struct_import_flagged(self):
+        diags = lint("import struct\n",
+                     filename="src/repro/query/engine.py")
+        assert self.RULE in rules(diags)
+
+    def test_from_import_flagged(self):
+        diags = lint("from struct import Struct\n",
+                     filename="src/repro/storage/buffer.py")
+        assert self.RULE in rules(diags)
+
+    def test_snapshot_module_is_allowed(self):
+        diags = lint(
+            """
+            import mmap
+            import struct
+
+            M = mmap
+            S = struct
+            """,
+            filename="src/repro/storage/snapshot.py",
+        )
+        assert self.RULE not in rules(diags)
+
+    def test_snapshot_named_file_elsewhere_still_flagged(self):
+        # only storage/snapshot.py owns the layout, not any snapshot.py
+        diags = lint("import struct\n",
+                     filename="src/repro/query/snapshot.py")
+        assert self.RULE in rules(diags)
+
+
+# ----------------------------------------------------------------------
 # file handling + the self-gate
 # ----------------------------------------------------------------------
 class TestEntryPoints:

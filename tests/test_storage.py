@@ -99,6 +99,21 @@ class TestBufferPool:
         assert pool.stats.physical_reads == 0
         assert pool.stats.logical_reads == 1
 
+    def test_new_page_is_not_an_io_event(self):
+        """Allocation moves no read counter — the documented contract.
+
+        ``new_page`` admits a fresh frame without reading anything, so
+        ``logical_reads``/``physical_reads`` stay put; the page's first
+        write-back is what lands in ``physical_writes``.  Every
+        I/O-count assertion in the suite is calibrated against this.
+        """
+        pool = self._pool(4)
+        for _ in range(3):
+            pool.new_page()
+        assert pool.stats.logical_reads == 0
+        assert pool.stats.physical_reads == 0
+        assert pool.stats.physical_writes == 0
+
     def test_eviction_causes_physical_read(self):
         pool = self._pool(2)
         pages = [pool.new_page() for _ in range(3)]  # evicts pages[0]
