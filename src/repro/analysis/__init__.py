@@ -10,12 +10,23 @@ Three passes over three layers, one diagnostic format:
   W-table ↔ F/T-subcluster agreement, B+-tree structure);
 * :func:`run_lint` — project-specific AST rules over source files
   (storage-layer bypasses from ``query/``, mutable defaults, enum
-  identity comparisons, bare excepts, unused imports).
+  identity comparisons, bare excepts, unused imports);
+* :func:`deep_check` — the whole-project analyzer (``repro check
+  --deep``): a call graph with worker-boundary detection
+  (:mod:`~repro.analysis.callgraph`), per-function dataflow summaries
+  (:mod:`~repro.analysis.dataflow`), and three interprocedural rule
+  packs — worker shared-state races
+  (:mod:`~repro.analysis.racecheck`), cache-generation discipline and
+  mmap view lifetime (:mod:`~repro.analysis.contracts`).  Its runtime
+  twin is sanitize mode (:mod:`~repro.analysis.sanitizer`), armed by
+  ``ExecutionContext(sanitize=True)`` or ``REPRO_SANITIZE=1``.
 
 All passes return lists of :class:`Diagnostic`; :func:`has_errors` is the
 gate condition used by ``repro check`` and CI.
 """
 
+from .callgraph import Project, build_project
+from .contracts import check_contracts, check_mmap, deep_check
 from .diagnostics import (
     Diagnostic,
     Severity,
@@ -27,6 +38,8 @@ from .diagnostics import (
 from .indexaudit import audit_database, audit_snapshot, check_bptree
 from .lint import lint_paths, lint_project, lint_source
 from .plancheck import PlanVerificationError, check_plan
+from .racecheck import check_races
+from .sanitizer import SanitizerError, sanitize_enabled
 
 #: the conventional entry point for linting arbitrary paths
 run_lint = lint_paths
@@ -34,11 +47,18 @@ run_lint = lint_paths
 __all__ = [
     "Diagnostic",
     "PlanVerificationError",
+    "Project",
+    "SanitizerError",
     "Severity",
     "audit_database",
     "audit_snapshot",
+    "build_project",
     "check_bptree",
+    "check_contracts",
+    "check_mmap",
     "check_plan",
+    "check_races",
+    "deep_check",
     "errors",
     "format_report",
     "has_errors",
@@ -46,5 +66,6 @@ __all__ = [
     "lint_project",
     "lint_source",
     "run_lint",
+    "sanitize_enabled",
     "warnings",
 ]

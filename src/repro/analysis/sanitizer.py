@@ -1,0 +1,136 @@
+"""sanitizer — runtime tripwires for the deep static checker's invariants.
+
+The rule packs in :mod:`repro.analysis.racecheck` and
+:mod:`repro.analysis.contracts` are necessarily approximate: taint does
+not flow through call results, dynamic dispatch is name-matched, and an
+untyped receiver is a silent false negative.  Sanitizer mode is the
+dynamic oracle that backs them up — every statically checked contract
+has a runtime tripwire that fires on the actual execution:
+
+* **worker shared-state freezing** — before a morsel runs inside a pool
+  worker, :class:`SharedStateGuard` fingerprints the coordinator-shared
+  structures the worker may only *read* (the database's index identity
+  and generation, the submitted plan); after the morsel it verifies
+  nothing drifted, so a worker mutation the race rules missed still
+  fails the run (``race/*`` oracle);
+* **cache-generation freshness** — a sanitizing
+  :class:`~repro.query.physical.cache.CenterCache` is bound to its
+  database and asserts ``index_generation`` freshness on *every* read,
+  not just at the sync choke point (``contract/cache-unsynced-read``
+  oracle);
+* **snapshot view poisoning** — closing a
+  :class:`~repro.storage.snapshot.Snapshot` while zero-copy views are
+  still exported raises :class:`SanitizerError` naming the hazard
+  instead of the cryptic ``BufferError`` (``mmap/view-held`` oracle).
+
+Everything is opt-in: ``ExecutionContext(sanitize=True)`` or
+``REPRO_SANITIZE=1`` in the environment (read per execution, so the
+differential suite can flip it without re-importing anything).  The
+hooks live in the query/storage modules themselves and import this
+module lazily — this module must stay stdlib-only so the analysis layer
+never depends on the query layer.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional
+
+#: environment switch; any value other than these enables sanitize mode
+_FALSEY = frozenset({"", "0", "false", "off", "no"})
+
+#: the coordinator-shared GraphDatabase attributes a worker must not swap
+_GUARDED_ATTRS = ("join_index", "catalog", "labeling")
+
+
+class SanitizerError(RuntimeError):
+    """A runtime tripwire fired: a checked invariant was violated."""
+
+
+def sanitize_enabled() -> bool:
+    """Is sanitize mode requested via ``REPRO_SANITIZE``?
+
+    Read on every call (never cached at import time) so tests and CI
+    legs can toggle the environment per execution.
+    """
+    return os.environ.get("REPRO_SANITIZE", "").strip().lower() not in _FALSEY
+
+
+def fingerprint(value: Any) -> int:
+    """A cheap structural fingerprint used as a mutation tripwire.
+
+    ``repr``-based: any change to contents *or* ordering of the guarded
+    structure changes the fingerprint.  Good enough for tripwires (a
+    collision hides a mutation with hash-collision probability), useless
+    for persistence — never store these.
+    """
+    return hash(repr(value))
+
+
+class SharedStateGuard:
+    """Freeze-check for the structures a worker morsel may only read.
+
+    Capture before the morsel, verify after::
+
+        guard = SharedStateGuard.capture(db, plan)
+        ...   # run the morsel
+        guard.verify(db, plan, where="stage 2 morsel")
+
+    The guard records the database's ``index_generation``, the object
+    identity of its index/catalog/labeling structures (a swap is exactly
+    what ``contract/generation-not-bumped`` polices) and a structural
+    fingerprint of the plan (workers must treat plans as immutable).
+    """
+
+    __slots__ = ("_facts",)
+
+    def __init__(self, facts: Dict[str, Any]) -> None:
+        self._facts = facts
+
+    @classmethod
+    def capture(cls, db: Any, plan: Any = None) -> "SharedStateGuard":
+        facts: Dict[str, Any] = {
+            "index_generation": getattr(db, "index_generation", None)
+        }
+        for attr in _GUARDED_ATTRS:
+            facts[attr] = id(getattr(db, attr, None))
+        if plan is not None:
+            facts["plan"] = fingerprint(plan)
+        return cls(facts)
+
+    def verify(self, db: Any, plan: Any = None, where: str = "") -> None:
+        """Raise :class:`SanitizerError` naming every drifted fact."""
+        current = type(self).capture(db, plan)._facts
+        drifted = sorted(
+            name for name, value in self._facts.items()
+            if current.get(name) != value
+        )
+        if drifted:
+            location = f" in {where}" if where else ""
+            raise SanitizerError(
+                f"coordinator-shared state changed under a worker morsel"
+                f"{location}: {', '.join(drifted)} drifted — worker code "
+                f"must not mutate shared structures (see race/* rules)"
+            )
+
+
+def assert_generation_fresh(
+    bound_generation: Optional[int], db: Any, what: str = "CenterCache"
+) -> None:
+    """Per-read freshness tripwire for generation-keyed caches."""
+    current = getattr(db, "index_generation", None)
+    if bound_generation != current:
+        raise SanitizerError(
+            f"{what} read at generation {bound_generation} but the "
+            f"database is at generation {current} — a sync choke point "
+            f"was bypassed (see contract/cache-unsynced-read)"
+        )
+
+
+__all__ = [
+    "SanitizerError",
+    "SharedStateGuard",
+    "assert_generation_fresh",
+    "fingerprint",
+    "sanitize_enabled",
+]

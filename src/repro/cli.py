@@ -19,6 +19,7 @@ be reproduced programmatically with :class:`repro.GraphEngine`.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional
@@ -238,6 +239,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         audit_database,
         audit_snapshot,
         check_plan,
+        deep_check,
         errors,
         format_report,
         has_errors,
@@ -248,8 +250,9 @@ def _cmd_check(args: argparse.Namespace) -> int:
     if args.patterns and args.database is None:
         print("--pattern requires a database to plan against", file=sys.stderr)
         return 2
-    if args.database is None and not args.self_lint:
-        print("nothing to check: give a database and/or --self", file=sys.stderr)
+    if args.database is None and not (args.self_lint or args.deep):
+        print("nothing to check: give a database, --self, and/or --deep",
+              file=sys.stderr)
         return 2
 
     all_diags = []
@@ -299,12 +302,34 @@ def _cmd_check(args: argparse.Namespace) -> int:
                 )
     if args.self_lint:
         section("lint src/repro", lint_project())
+    if args.deep:
+        project, deep_diags = deep_check()
+        section(
+            f"deepcheck {project.package} "
+            f"({len(project.functions)} functions, "
+            f"{len(project.worker_roots)} worker roots)",
+            deep_diags,
+        )
 
     failed = has_errors(all_diags)
     error_count = len(errors(all_diags))
     warning_count = len(all_diags) - error_count
     print(f"-- {error_count} error(s), {warning_count} warning(s)",
           file=sys.stderr)
+
+    if args.report:
+        rule_counts: dict = {}
+        for diag in all_diags:
+            rule_counts[diag.rule] = rule_counts.get(diag.rule, 0) + 1
+        payload = {
+            "errors": error_count,
+            "warnings": warning_count,
+            "rules": dict(sorted(rule_counts.items())),
+        }
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"rule-count report written to {args.report}", file=sys.stderr)
     return 1 if failed else 0
 
 
@@ -406,7 +431,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_check = sub.add_parser(
         "check",
-        help="static verification: index audit, plan checks, project lint",
+        help="static verification: index audit, plan checks, project lint, "
+             "deep call-graph analysis",
     )
     p_check.add_argument("database", nargs="?",
                          help="saved database to audit (cover, W-table, B+-trees)")
@@ -419,6 +445,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="which optimizer(s) to plancheck (default: dp+dps)")
     p_check.add_argument("--self", dest="self_lint", action="store_true",
                          help="lint the repro package's own source")
+    p_check.add_argument("--deep", action="store_true",
+                         help="run the whole-project call-graph analyzer "
+                              "(worker races, cache-generation discipline, "
+                              "mmap view lifetime)")
+    p_check.add_argument("--report", metavar="PATH",
+                         help="write a JSON per-rule diagnostic-count report "
+                              "(CI artifact)")
     p_check.add_argument("--exact-threshold", type=int, default=300,
                          help="max nodes for the exact cover check (default 300)")
     p_check.add_argument("--sample-rows", type=int, default=32,

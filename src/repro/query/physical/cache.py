@@ -26,9 +26,12 @@ clears the cache when the generation it was filled under is stale.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from ..algebra import Side
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ...db.database import GraphDatabase
 
 #: rough per-entry overhead (key tuple, dict slot, value tuple header)
 _ENTRY_OVERHEAD_BYTES = 96
@@ -59,6 +62,9 @@ class CenterCache:
         self._bytes = 0
         self._generation: Optional[int] = None
         self._store: "OrderedDict[tuple, Tuple[int, ...]]" = OrderedDict()
+        # sanitize mode: when bound to a database, every read asserts
+        # generation freshness (see repro.analysis.sanitizer)
+        self._sanitize_db: Optional["GraphDatabase"] = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -69,6 +75,22 @@ class CenterCache:
             if self._generation is not None and self._store:
                 self.invalidate()
             self._generation = generation
+
+    def bind_sanitizer(self, db: "GraphDatabase") -> None:
+        """Arm the per-read freshness tripwire against *db*.
+
+        Sanitize mode only — every subsequent ``get_*`` raises
+        :class:`repro.analysis.sanitizer.SanitizerError` if the bound
+        generation no longer matches ``db.index_generation``.
+        """
+        self._sanitize_db = db
+
+    def _assert_fresh(self) -> None:
+        # imported lazily: the analysis layer depends on the query
+        # layer, not the other way around
+        from ...analysis.sanitizer import assert_generation_fresh
+
+        assert_generation_fresh(self._generation, self._sanitize_db)
 
     def invalidate(self) -> None:
         """Drop every entry (the index was rebuilt); counters survive."""
@@ -89,6 +111,8 @@ class CenterCache:
         self, node: int, pair_id: int, side: Side
     ) -> Optional[Tuple[int, ...]]:
         """Cached ``getCenters`` result for ``(node, X, Y)``, or None."""
+        if self._sanitize_db is not None:
+            self._assert_fresh()
         return self._get((_CENTERS_TAG, node, pair_id, side is Side.OUT))
 
     def put_centers(
@@ -100,6 +124,8 @@ class CenterCache:
         self, center: int, label: str, side: Side
     ) -> Optional[Tuple[int, ...]]:
         """Cached ``getT(w, Y)`` / ``getF(w, X)`` subcluster, or None."""
+        if self._sanitize_db is not None:
+            self._assert_fresh()
         return self._get((_SUBCLUSTER_TAG, center, label, side is Side.OUT))
 
     def put_subcluster(

@@ -129,6 +129,18 @@ class ExecutionContext:
     ``morsel_size`` rows and execute them on a worker pool.  ``workers``
     of ``None``/``0``/``1`` keeps the sequential paths untouched — they
     are the differential oracles for the parallel ones.
+
+    ``sanitize`` arms the runtime tripwires of
+    :mod:`repro.analysis.sanitizer` (shared-state freeze checks in
+    worker morsels, per-read cache-generation assertions); it defaults
+    to the ``REPRO_SANITIZE`` environment switch, re-read on every
+    context construction.
+
+    Construction is also the **cache-sync choke point**: every context
+    re-syncs its ``center_cache`` against ``db.index_generation``, so no
+    driver — current or future — can read entries that predate an index
+    rebuild.  The deep checker's ``contract/sync-choke-point`` rule
+    pins this block in place.
     """
 
     db: GraphDatabase
@@ -139,6 +151,19 @@ class ExecutionContext:
     workers: Optional[int] = None
     parallel_backend: Optional[str] = None
     morsel_size: int = DEFAULT_MORSEL_SIZE
+    sanitize: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.sanitize:
+            # imported lazily: the analysis layer depends on the query
+            # layer, not the other way around
+            from ...analysis.sanitizer import sanitize_enabled
+
+            self.sanitize = sanitize_enabled()
+        if self.center_cache is not None:
+            self.center_cache.sync(self.db.index_generation)
+            if self.sanitize:
+                self.center_cache.bind_sanitizer(self.db)
 
     @property
     def batched(self) -> bool:

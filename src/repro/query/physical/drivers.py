@@ -99,14 +99,18 @@ def _prepare(
     workers: Optional[int] = None,
     parallel_backend: Optional[str] = None,
     morsel_size: Optional[int] = None,
+    sanitize: bool = False,
 ):
-    """Shared driver preamble: verification, validation, pipeline build."""
+    """Shared driver preamble: verification, validation, pipeline build.
+
+    Stale-cache handling is NOT done here: constructing the
+    :class:`ExecutionContext` below is the single sync choke point that
+    re-binds ``center_cache`` to ``db.index_generation`` (enforced by
+    the ``contract/sync-choke-point`` deep rule).
+    """
     if verify:
         _verify_plan(plan, db)
     plan.validate()
-    if center_cache is not None:
-        # drop stale entries if the join index was rebuilt since last use
-        center_cache.sync(db.index_generation)
     ctx = ExecutionContext(
         db=db,
         pattern=plan.pattern,
@@ -115,6 +119,7 @@ def _prepare(
         center_cache=center_cache,
         workers=workers,
         parallel_backend=parallel_backend,
+        sanitize=sanitize,
     )
     if morsel_size is not None:
         ctx.morsel_size = morsel_size
@@ -187,6 +192,7 @@ def execute_plan(
     parallel_backend: Optional[str] = None,
     morsel_size: Optional[int] = None,
     worker_pool: Optional[WorkerPool] = None,
+    sanitize: bool = False,
 ) -> QueryResult:
     """Run *plan*, materializing every intermediate; project the result.
 
@@ -219,6 +225,7 @@ def execute_plan(
         db, plan, row_limit, verify, batch_size=batch_size,
         center_cache=center_cache, workers=workers,
         parallel_backend=parallel_backend, morsel_size=morsel_size,
+        sanitize=sanitize,
     )
     cache_before = center_cache.snapshot() if center_cache is not None else None
     io_before = db.stats.snapshot()
@@ -366,6 +373,7 @@ def execute_plan_streaming(
     parallel_backend: Optional[str] = None,
     morsel_size: Optional[int] = None,
     worker_pool: Optional[WorkerPool] = None,
+    sanitize: bool = False,
 ) -> StreamingResult:
     """Yield projected result rows lazily; stop early at *limit*.
 
@@ -387,6 +395,7 @@ def execute_plan_streaming(
         db, plan, row_limit, verify, batch_size=batch_size,
         center_cache=center_cache, workers=workers,
         parallel_backend=parallel_backend, morsel_size=morsel_size,
+        sanitize=sanitize,
     )
 
     execution: Optional[ParallelExecution] = None

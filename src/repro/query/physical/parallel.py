@@ -111,8 +111,8 @@ def _init_worker(db: GraphDatabase) -> None:
     _WORKER_DB = db
 
 
-# payload = (plan, stage_index, batch_size, use_cache, kind, data)
-Payload = Tuple[Plan, int, Optional[int], bool, str, Sequence]
+# payload = (plan, stage_index, batch_size, use_cache, kind, data, sanitize)
+Payload = Tuple[Plan, int, Optional[int], bool, str, Sequence, bool]
 StageResult = Tuple[
     List[Row],
     Tuple[int, int, int, int],
@@ -131,14 +131,22 @@ def _run_stage(payload: Payload, db: Optional[GraphDatabase] = None) -> StageRes
     limit violation is detected at the same global row count as in the
     sequential drivers.
     """
-    plan, stage_index, batch_size, use_cache, kind, data = payload
+    plan, stage_index, batch_size, use_cache, kind, data, sanitize = payload
     if db is None:
         db = _WORKER_DB
     if db is None:  # pragma: no cover - defensive: initializer not run
         raise RuntimeError("worker has no database handle")
+    guard = None
+    if sanitize:
+        # imported lazily: the analysis layer depends on the query
+        # layer, not the other way around
+        from ...analysis.sanitizer import SharedStateGuard
+
+        guard = SharedStateGuard.capture(db, plan)
     cache = CenterCache() if use_cache else None
     ctx = ExecutionContext(
-        db=db, pattern=plan.pattern, batch_size=batch_size, center_cache=cache
+        db=db, pattern=plan.pattern, batch_size=batch_size,
+        center_cache=cache, sanitize=sanitize,
     )
     operators, _project = build_pipeline(ctx, plan)
     op = operators[stage_index]
@@ -152,6 +160,8 @@ def _run_stage(payload: Payload, db: Optional[GraphDatabase] = None) -> StageRes
     counters = (m.rows_in, m.rows_out, m.centers_probed, m.nodes_fetched)
     io_delta = db.stats.delta_since(io_before)
     cache_counts = cache.snapshot() if cache is not None else None
+    if guard is not None:
+        guard.verify(db, plan, where=f"stage {stage_index} ({kind} morsel)")
     return rows, counters, io_delta, cache_counts
 
 
@@ -376,6 +386,7 @@ class ParallelExecution:
             self.ctx.center_cache is not None,
             kind,
             data,
+            self.ctx.sanitize,
         )
 
     def _stage(

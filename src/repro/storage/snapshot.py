@@ -352,6 +352,7 @@ class Snapshot:
         self._view = view
         self._sections = sections
         self._mmap = mapped
+        self._closed = False
         self.decode_stats: Dict[str, int] = {
             "code_rows": 0, "wtable_pairs": 0, "subcluster_runs": 0,
         }
@@ -474,14 +475,45 @@ class Snapshot:
             raise SnapshotError("section 'catpairs' is not rows of 5 values")
 
     # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def close(self) -> None:
-        """Release the mapping (views handed out become invalid)."""
+        """Release the mapping; idempotent.
+
+        Any view handed out earlier becomes invalid: further section
+        access on this object raises ``SnapshotError("snapshot is
+        closed")``.  If zero-copy views are still alive the mapping
+        cannot be unmapped — that raises ``BufferError`` (or
+        :class:`repro.analysis.sanitizer.SanitizerError` under
+        ``REPRO_SANITIZE=1``, naming the ``mmap/view-held`` hazard the
+        deep checker polices statically).
+        """
+        if self._closed:
+            return
+        self._closed = True
         self._view.release()
         if self._mmap is not None:
-            self._mmap.close()
+            try:
+                self._mmap.close()
+            except BufferError as exc:
+                # imported lazily: the analysis layer must not become a
+                # load-time dependency of the storage layer
+                from ..analysis.sanitizer import SanitizerError, sanitize_enabled
+
+                message = (
+                    f"snapshot {self.path!r} closed while zero-copy views "
+                    f"into its mapping are still alive: {exc}"
+                )
+                if sanitize_enabled():
+                    raise SanitizerError(message) from exc
+                raise BufferError(message) from exc
             self._mmap = None
 
     def _raw(self, name: str) -> memoryview:
+        if self._closed:
+            raise SnapshotError("snapshot is closed")
         offset, length = self._sections[name]
         return self._view[offset:offset + length]
 

@@ -1,0 +1,288 @@
+"""deep rule packs: each seeded fixture fires, the real tree stays clean."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis import check_contracts, check_mmap, check_races, deep_check
+from repro.cli import main as cli_main
+
+from test_callgraph import make_project
+
+
+def rules(diagnostics):
+    return {d.rule for d in diagnostics}
+
+
+def by_rule(diagnostics, rule):
+    return [d for d in diagnostics if d.rule == rule]
+
+
+# ----------------------------------------------------------------------
+# race/* — worker shared-state rules
+# ----------------------------------------------------------------------
+class TestRaceRules:
+    def test_shared_write_through_call_chain(self, tmp_path):
+        project = make_project(tmp_path, {
+            "work.py": """
+                from concurrent.futures import ThreadPoolExecutor
+
+                def run(stats):
+                    with ThreadPoolExecutor() as pool:
+                        return pool.submit(_worker, [1], stats).result()
+
+                def _worker(payload, stats):
+                    return _tally(stats, payload)
+
+                def _tally(stats, payload):
+                    stats.rows += 1
+                    return stats.rows
+            """,
+        })
+        found = by_rule(check_races(project), "race/shared-write")
+        assert len(found) == 1
+        diag = found[0]
+        assert "stats.rows" in diag.message
+        # the diagnostic explains HOW the function runs inside a worker
+        assert "worker call path: work._worker -> work._tally" in diag.message
+        assert diag.line == 12  # the `stats.rows += 1` line
+
+    def test_shared_mutation_in_place(self, tmp_path):
+        project = make_project(tmp_path, {
+            "work.py": """
+                from concurrent.futures import ThreadPoolExecutor
+
+                def run(acc):
+                    with ThreadPoolExecutor() as pool:
+                        return pool.submit(_worker, acc).result()
+
+                def _worker(acc):
+                    acc.append(1)
+                    return acc
+            """,
+        })
+        found = by_rule(check_races(project), "race/shared-mutation")
+        assert len(found) == 1
+        assert "`acc`" in found[0].message
+        assert "`append`" in found[0].message
+
+    def test_global_rebind_from_worker(self, tmp_path):
+        project = make_project(tmp_path, {
+            "work.py": """
+                from concurrent.futures import ThreadPoolExecutor
+
+                COUNTER = 0
+
+                def run():
+                    with ThreadPoolExecutor() as pool:
+                        return pool.submit(_worker).result()
+
+                def _worker():
+                    global COUNTER
+                    COUNTER = COUNTER + 1
+                    return COUNTER
+            """,
+        })
+        found = by_rule(check_races(project), "race/global-write")
+        assert len(found) == 1
+        assert "COUNTER" in found[0].message
+
+    def test_worker_local_construction_is_not_flagged(self, tmp_path):
+        # taint must not flow out of call results: a structure the worker
+        # builds for itself is fair game
+        project = make_project(tmp_path, {
+            "work.py": """
+                from concurrent.futures import ThreadPoolExecutor
+
+                class Scratch:
+                    def __init__(self):
+                        self.rows = 0
+
+                def run(payload):
+                    with ThreadPoolExecutor() as pool:
+                        return pool.submit(_worker, payload).result()
+
+                def _worker(payload):
+                    scratch = Scratch()
+                    scratch.rows += len(payload)
+                    return scratch.rows
+            """,
+        })
+        assert check_races(project) == []
+
+
+# ----------------------------------------------------------------------
+# contract/* — generation discipline
+# ----------------------------------------------------------------------
+class TestContractRules:
+    def test_unsynced_cache_read_fires(self, tmp_path):
+        project = make_project(tmp_path, {
+            "cache.py": """
+                class CenterCache:
+                    def sync(self, generation):
+                        pass
+
+                    def get_centers(self, node, pair_id, side):
+                        return None
+            """,
+            "probe.py": """
+                from .cache import CenterCache
+
+                def probe(cache: CenterCache, node):
+                    return cache.get_centers(node, 0, True)
+            """,
+        })
+        found = by_rule(check_contracts(project), "contract/cache-unsynced-read")
+        assert len(found) == 1
+        assert "probe.probe" in found[0].message
+        assert "without a dominating" in found[0].message
+        assert "reached via:" in found[0].message
+
+    def test_synced_and_context_blessed_reads_are_clean(self, tmp_path):
+        project = make_project(tmp_path, {
+            "cache.py": """
+                class CenterCache:
+                    def sync(self, generation):
+                        pass
+
+                    def get_centers(self, node, pair_id, side):
+                        return None
+            """,
+            "probe.py": """
+                from .cache import CenterCache
+
+                def synced(cache: CenterCache, db, node):
+                    cache.sync(db.index_generation)
+                    return cache.get_centers(node, 0, True)
+
+                def blessed(ctx, node):
+                    # flowed out of an ExecutionContext: the construction
+                    # choke point already synced it
+                    return ctx.center_cache.get_centers(node, 0, True)
+            """,
+        })
+        assert by_rule(check_contracts(project),
+                       "contract/cache-unsynced-read") == []
+
+    def test_sync_choke_point_presence_rule(self, tmp_path):
+        broken = make_project(tmp_path, {
+            "context.py": """
+                from dataclasses import dataclass
+
+                @dataclass
+                class ExecutionContext:
+                    db: object
+                    center_cache: object
+
+                    def __post_init__(self):
+                        pass
+            """,
+        }, name="broken")
+        found = by_rule(check_contracts(broken), "contract/sync-choke-point")
+        assert len(found) == 1
+        assert "__post_init__" in found[0].message
+
+        fixed = make_project(tmp_path, {
+            "context.py": """
+                from dataclasses import dataclass
+
+                @dataclass
+                class ExecutionContext:
+                    db: object
+                    center_cache: object
+
+                    def __post_init__(self):
+                        self.center_cache.sync(self.db.index_generation)
+            """,
+        }, name="fixed")
+        assert by_rule(check_contracts(fixed), "contract/sync-choke-point") == []
+
+    def test_generation_bump_rule(self, tmp_path):
+        project = make_project(tmp_path, {
+            "db.py": """
+                class GraphDatabase:
+                    pass
+            """,
+            "rebuild.py": """
+                from .db import GraphDatabase
+
+                def swap_silently(db: GraphDatabase, index):
+                    db.join_index = index
+
+                def swap_properly(db: GraphDatabase, index):
+                    db.join_index = index
+                    db.index_generation += 1
+            """,
+        })
+        found = by_rule(check_contracts(project),
+                        "contract/generation-not-bumped")
+        assert len(found) == 1
+        assert "swap_silently" in found[0].message
+        assert "swap_properly" not in found[0].message
+
+
+# ----------------------------------------------------------------------
+# mmap/* — view lifetime
+# ----------------------------------------------------------------------
+class TestMmapRules:
+    FILES = {
+        "storage/snapshot.py": """
+            class Snapshot:
+                def _raw(self, name):
+                    return memoryview(b"")
+
+                def centers(self):
+                    return self._raw("centers")
+        """,
+        "leak.py": """
+            from .storage.snapshot import Snapshot
+
+            def leak_return(snap: Snapshot):
+                return snap._raw("meta")
+
+            class Holder:
+                def __init__(self, snap: Snapshot):
+                    self.view = snap.centers()
+        """,
+    }
+
+    def test_view_escape_and_view_held_fire(self, tmp_path):
+        project = make_project(tmp_path, self.FILES)
+        diagnostics = check_mmap(project)
+        escapes = by_rule(diagnostics, "mmap/view-escape")
+        held = by_rule(diagnostics, "mmap/view-held")
+        assert len(escapes) == 1
+        assert "leak.leak_return" in escapes[0].message
+        assert len(held) == 1
+        assert "`view`" in held[0].message
+
+    def test_storage_layer_and_snapshot_class_are_exempt(self, tmp_path):
+        # Snapshot.centers returns a view from inside <pkg>.storage: fine
+        project = make_project(tmp_path, {
+            "storage/snapshot.py": self.FILES["storage/snapshot.py"],
+        })
+        assert check_mmap(project) == []
+
+
+# ----------------------------------------------------------------------
+# the real tree and the CLI surface
+# ----------------------------------------------------------------------
+class TestDeepCheckEndToEnd:
+    def test_repo_source_is_deep_clean(self):
+        project, diagnostics = deep_check()
+        assert diagnostics == []
+        # sanity: the analyzer actually saw the tree it claims to clear
+        assert len(project.functions) > 400
+        assert len(project.worker_roots) >= 3
+
+    def test_cli_deep_flag_and_report(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        exit_code = cli_main(["check", "--deep", "--report", str(report)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "deepcheck repro" in out
+        payload = json.loads(report.read_text())
+        assert payload == {"errors": 0, "warnings": 0, "rules": {}}
+
+    def test_cli_check_requires_a_target(self):
+        assert cli_main(["check"]) == 2
