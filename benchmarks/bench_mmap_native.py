@@ -1,0 +1,219 @@
+"""Mmap-native execution benchmark: zero-copy slices vs tuple decode.
+
+The mmap-native read path routes batch execution over the snapshot's
+``memoryview('q')`` slices end to end — operators address subcluster
+runs, W-entries and graph codes directly in the mapping, with no
+per-probe tuple/array materialization.  This benchmark pins the payoff
+on the Figure-7 "L" and "XL" datasets against the tuple-materializing
+snapshot path (``use_views=False``, the differential oracle):
+
+* **per-query allocation peak** (``tracemalloc``, Python-heap peak of
+  one batch-mode query on a freshly opened engine) — on selective
+  queries (result below ``SELECTIVE_ROWS`` rows, where probing rather
+  than result materialization dominates) the native path must allocate
+  at least ``REQUIRED_ALLOC_RATIO``x less, by median across the
+  Figure 4 workload;
+* **cold- and warm-cache latency** — the first query after a fresh
+  ``load_database`` (decode caches empty, pages faulted on demand)
+  versus the best warm repeat, for both paths on both datasets.
+
+Every timing claim is agreement-gated first: rows AND per-operator
+counters of the native path must be byte-identical to the oracle's.
+
+Run with: pytest benchmarks/bench_mmap_native.py -s
+Results land in ``benchmarks/results/BENCH_mmap_native.json``.
+"""
+
+import statistics
+import time
+import tracemalloc
+
+import pytest
+
+from repro.db.persist import load_database, save_database
+from repro.query.engine import GraphEngine
+from repro.workloads.patterns import PatternFactory
+
+from conftest import BENCH_BUDGET, BENCH_SEED
+
+#: acceptance floor: median oracle/native allocation-peak ratio on the
+#: selective Figure 4 queries of the "L" dataset
+REQUIRED_ALLOC_RATIO = 3.0
+
+#: result-size ceiling below which a query counts as selective — above
+#: it both paths are dominated by materializing the identical output
+SELECTIVE_ROWS = 2500
+
+#: rows per kernel block (the bench_micro_substrate sweet spot)
+BATCH = 64
+
+#: repetitions for the warm timing; the minimum is reported
+REPEATS = 3
+
+#: patterns timed in the cold/warm latency leg (workload keys)
+LATENCY_PATTERNS = ("P1", "P3", "Q1")
+
+DATASETS = ("L", "XL")
+
+
+@pytest.fixture(scope="module")
+def snap_paths(graphs, tmp_path_factory):
+    """L and XL databases built once and saved as raw-runs snapshots."""
+    base = tmp_path_factory.mktemp("mmapnative")
+    paths = {}
+    for name in DATASETS:
+        db = GraphEngine(graphs[name].graph).db
+        path = str(base / f"fig7{name}.snap")
+        save_database(db, path)
+        paths[name] = path
+    return paths
+
+
+@pytest.fixture(scope="module")
+def workloads(snap_paths):
+    """Per-dataset Figure 4 workloads (catalogs differ across scales)."""
+    result = {}
+    for name, path in snap_paths.items():
+        factory = PatternFactory(load_database(path).catalog, seed=11)
+        patterns = {}
+        patterns.update(factory.figure4_paths())
+        patterns.update(factory.figure4_trees())
+        patterns.update(factory.figure4_queries(4))
+        result[name] = patterns
+    return result
+
+
+def op_counters(metrics):
+    return [
+        (op.operator, op.rows_in, op.rows_out, op.centers_probed, op.nodes_fetched)
+        for op in metrics.operators
+    ]
+
+
+def _fresh_engines(path):
+    native = GraphEngine.from_database(load_database(path))
+    oracle = GraphEngine.from_database(load_database(path, use_views=False))
+    assert native.db.mmap_views and not oracle.db.mmap_views
+    return native, oracle
+
+
+def _alloc_peak_kib(engine, pattern):
+    tracemalloc.start()
+    try:
+        result = engine.match(pattern, batch_size=BATCH)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak / 1024.0, result
+
+
+def test_native_alloc_peak_beats_tuple_path(snap_paths, workloads, bench_record):
+    """Figure-7 L: per-query Python-heap peak, native vs oracle."""
+    path = snap_paths["L"]
+    # one throwaway query loads every lazily imported module, so the
+    # first measured query is not charged for import allocations
+    GraphEngine.from_database(load_database(path)).match(
+        "person -> watch", batch_size=BATCH
+    )
+    selective_ratios = []
+    for name, pattern in workloads["L"].items():
+        native, oracle = _fresh_engines(path)
+        native_kib, native_result = _alloc_peak_kib(native, pattern)
+        oracle_kib, oracle_result = _alloc_peak_kib(oracle, pattern)
+
+        # agreement gate before any measurement claims
+        assert native_result.rows == oracle_result.rows, (
+            f"{name}: native rows diverge from the tuple oracle"
+        )
+        assert op_counters(native_result.metrics) == op_counters(
+            oracle_result.metrics
+        ), f"{name}: native per-op counters diverge from the tuple oracle"
+
+        ratio = oracle_kib / native_kib if native_kib else float("inf")
+        selective = len(native_result.rows) <= SELECTIVE_ROWS
+        if selective:
+            selective_ratios.append(ratio)
+        bench_record.add(
+            query=f"{name}@L",
+            optimizer="dps",
+            wall_ms=0.0,
+            rows=len(native_result.rows),
+            variant="native",
+            alloc_peak_kib=round(native_kib, 1),
+            alloc_ratio=round(ratio, 2),
+            selective=selective,
+        )
+        bench_record.add(
+            query=f"{name}@L",
+            optimizer="dps",
+            wall_ms=0.0,
+            rows=len(oracle_result.rows),
+            variant="tuple-oracle",
+            alloc_peak_kib=round(oracle_kib, 1),
+        )
+    median_ratio = statistics.median(selective_ratios)
+    print(
+        f"\n[mmap-native] alloc@L selective n={len(selective_ratios)} "
+        f"median ratio={median_ratio:.2f}x min={min(selective_ratios):.2f}x"
+    )
+    assert len(selective_ratios) >= 8, "selective workload shrank; gate vacuous"
+    assert median_ratio >= REQUIRED_ALLOC_RATIO, (
+        f"native allocation peak is only {median_ratio:.2f}x below the "
+        f"tuple path (required >= {REQUIRED_ALLOC_RATIO}x)"
+    )
+
+
+def _cold_and_warm_ms(path, pattern, use_views):
+    engine = GraphEngine.from_database(
+        load_database(path, use_views=use_views)
+    )
+    start = time.perf_counter()
+    cold_result = engine.match(pattern, batch_size=BATCH)
+    cold_ms = (time.perf_counter() - start) * 1000.0
+    warm_ms = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        warm_result = engine.match(pattern, batch_size=BATCH)
+        warm_ms = min(warm_ms, (time.perf_counter() - start) * 1000.0)
+    assert warm_result.rows == cold_result.rows
+    return cold_ms, warm_ms, cold_result
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_cold_and_warm_latency(snap_paths, workloads, bench_record, dataset):
+    """First-query (cold decode caches) and warm latency, both paths."""
+    path = snap_paths[dataset]
+    for name in LATENCY_PATTERNS:
+        pattern = workloads[dataset][name]
+        native_cold, native_warm, native_result = _cold_and_warm_ms(
+            path, pattern, use_views=None
+        )
+        oracle_cold, oracle_warm, oracle_result = _cold_and_warm_ms(
+            path, pattern, use_views=False
+        )
+        assert native_result.rows == oracle_result.rows, (
+            f"{name}@{dataset}: native rows diverge from the tuple oracle"
+        )
+        assert op_counters(native_result.metrics) == op_counters(
+            oracle_result.metrics
+        ), f"{name}@{dataset}: per-op counters diverge"
+        bench_record.add(
+            query=f"{name}@{dataset}",
+            optimizer="dps",
+            wall_ms=native_warm,
+            rows=len(native_result.rows),
+            variant="native",
+            cold_wall_ms=round(native_cold, 4),
+        )
+        bench_record.add(
+            query=f"{name}@{dataset}",
+            optimizer="dps",
+            wall_ms=oracle_warm,
+            rows=len(oracle_result.rows),
+            variant="tuple-oracle",
+            cold_wall_ms=round(oracle_cold, 4),
+        )
+        print(
+            f"[mmap-native] {name}@{dataset} cold {oracle_cold:.1f}->"
+            f"{native_cold:.1f}ms warm {oracle_warm:.1f}->{native_warm:.1f}ms"
+        )

@@ -16,8 +16,10 @@ writes (``benchmarks/results/``):
     python benchmarks/summarize.py --diff old.json new.json
 
 compares two BENCH files entry by entry (matched on query, optimizer and
-variant) and flags every wall-ms regression above 15%, exiting non-zero
-if any is found — the CI regression gate.
+variant) and flags every regression above 15% in any gated metric —
+``wall_ms``, ``alloc_peak_kib`` (per-query Python-heap peak) and
+``cold_wall_ms`` (first-query latency on a freshly opened snapshot) —
+exiting non-zero if one is found: the CI regression gate.
 """
 
 from __future__ import annotations
@@ -98,8 +100,12 @@ def available_figures(measurements: List[Dict[str, Any]]) -> List[str]:
     return seen
 
 
-#: wall-ms growth beyond this fraction counts as a regression
+#: metric growth beyond this fraction counts as a regression
 REGRESSION_THRESHOLD = 0.15
+
+#: the gated lower-is-better metrics; entries carrying any of them are
+#: compared field by field (an entry missing a metric is skipped for it)
+GATED_METRICS = ("wall_ms", "alloc_peak_kib", "cold_wall_ms")
 
 
 def load_bench_entries(path: str) -> Dict[Any, Dict[str, Any]]:
@@ -119,23 +125,28 @@ def diff_bench_files(
 
     Entries are matched on ``(query, optimizer, variant)``; entries present
     in only one file are reported informationally but are not regressions.
+    Every metric of ``GATED_METRICS`` both entries carry is compared:
+    wall time, per-query allocation peak and cold-cache latency.
     """
     old = load_bench_entries(old_path)
     new = load_bench_entries(new_path)
     regressions: List[str] = []
     for key in sorted(k for k in old if k in new):
-        old_ms = old[key].get("wall_ms")
-        new_ms = new[key].get("wall_ms")
-        if not old_ms or new_ms is None:
-            continue
-        growth = (new_ms - old_ms) / old_ms
-        if growth > threshold:
-            query, optimizer, variant = key
-            tag = f"{query}/{optimizer}" + (f"/{variant}" if variant else "")
-            regressions.append(
-                f"REGRESSION {tag}: {old_ms:.2f}ms -> {new_ms:.2f}ms "
-                f"(+{growth:.0%}, threshold +{threshold:.0%})"
-            )
+        for metric in GATED_METRICS:
+            old_value = old[key].get(metric)
+            new_value = new[key].get(metric)
+            if not old_value or new_value is None:
+                continue
+            growth = (new_value - old_value) / old_value
+            if growth > threshold:
+                query, optimizer, variant = key
+                tag = f"{query}/{optimizer}" + (f"/{variant}" if variant else "")
+                unit = "KiB" if metric.endswith("kib") else "ms"
+                regressions.append(
+                    f"REGRESSION {tag} [{metric}]: {old_value:.2f}{unit} -> "
+                    f"{new_value:.2f}{unit} "
+                    f"(+{growth:.0%}, threshold +{threshold:.0%})"
+                )
     return regressions
 
 

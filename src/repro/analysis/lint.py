@@ -177,7 +177,8 @@ class _LintVisitor(ast.NodeVisitor):
                     node.lineno,
                     f"direct import of {alias.name!r}; binary layout "
                     "handling is confined to repro.storage.snapshot — "
-                    "operate on Snapshot objects, not raw bytes",
+                    "consume Snapshot objects or their blessed *_view "
+                    "accessors, not raw bytes",
                 )
             self.imports.append(
                 (alias.asname or alias.name.split(".")[0], node.lineno)
@@ -201,8 +202,8 @@ class _LintVisitor(ast.NodeVisitor):
                 "lint/mmap-outside-snapshot",
                 node.lineno,
                 f"direct import from {module!r}; binary layout handling is "
-                "confined to repro.storage.snapshot — operate on Snapshot "
-                "objects, not raw bytes",
+                "confined to repro.storage.snapshot — consume Snapshot "
+                "objects or their blessed *_view accessors, not raw bytes",
             )
         if module == "concurrent.futures" and not self.may_multiprocess:
             for alias in node.names:

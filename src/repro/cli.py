@@ -218,7 +218,10 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
         print(f"snapshot error: {exc}", file=sys.stderr)
         return 1
     try:
-        print(f"{args.file}: snapshot v1, {snapshot.file_size()} bytes")
+        layout = "raw runs (view-capable)" if snapshot.raw_runs else "delta runs"
+        print(
+            f"{args.file}: snapshot v1, {snapshot.file_size()} bytes, {layout}"
+        )
         print(f"{'nodes':>12}: {snapshot.node_count}")
         print(f"{'edges':>12}: {snapshot.edge_count}")
         print(f"{'labels':>12}: {snapshot.label_count}")
@@ -398,7 +401,8 @@ def build_parser() -> argparse.ArgumentParser:
                               "scheduler with this many workers (>1; "
                               "default sequential; rows are identical "
                               "either way)")
-    p_query.add_argument("--parallel-backend", choices=("process", "thread"),
+    p_query.add_argument("--parallel-backend",
+                         choices=("process", "thread", "spawn"),
                          default=None,
                          help="pool backend for --workers (default: process "
                               "where fork exists)")

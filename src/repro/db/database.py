@@ -111,6 +111,10 @@ class GraphDatabase:
         #: bumped whenever the join index is (re)built; cross-query
         #: caches (the engine's CenterCache) key their validity on it
         self.index_generation = 0
+        #: True when the read path may address zero-copy snapshot views
+        self.mmap_views = False
+        self._snapshot = None
+        self._snapshot_config: Optional[Tuple[int, int, bool, bool]] = None
         self.pool.flush_all()
 
     # ------------------------------------------------------------------
@@ -121,6 +125,7 @@ class GraphDatabase:
         buffer_bytes: int = DEFAULT_BUFFER_BYTES,
         page_size: int = DEFAULT_PAGE_SIZE,
         code_cache_enabled: bool = True,
+        use_views: Optional[bool] = None,
     ) -> "GraphDatabase":
         """Construct a database that serves from a binary snapshot.
 
@@ -131,7 +136,22 @@ class GraphDatabase:
         statistics, and base tables materialize per label on first
         access.  Only the graph itself (O(V+E), needed for labels and
         extents everywhere) is reconstructed eagerly.
+
+        ``use_views`` controls the mmap-native read path (zero-copy
+        slices straight out of the mapping): ``None`` enables it exactly
+        when the file layout supports it (raw-runs snapshots), ``True``
+        demands it (raises :class:`ValueError` on a legacy delta file),
+        ``False`` forces the tuple-materializing path — the differential
+        oracle the mmap-native tests compare against.
         """
+        if use_views is None:
+            use_views = bool(snapshot.supports_views)
+        elif use_views and not snapshot.supports_views:
+            raise ValueError(
+                f"snapshot {snapshot.path!r} is delta-encoded (legacy "
+                "layout) and cannot serve zero-copy views; rewrite it or "
+                "pass use_views=False"
+            )
         db = cls.__new__(cls)
         db.graph = snapshot.build_graph()
         db.stats = IOStats()
@@ -141,7 +161,11 @@ class GraphDatabase:
             stats=db.stats,
         )
         db.labeling = TwoHopLabeling.from_array_source(
-            snapshot.node_count, snapshot.in_code_array, snapshot.out_code_array
+            snapshot.node_count,
+            snapshot.in_code_array,
+            snapshot.out_code_array,
+            in_view_fetch=snapshot.in_code_view if use_views else None,
+            out_view_fetch=snapshot.out_code_view if use_views else None,
         )
         db.base_tables = {}
         db._table_labels = tuple(snapshot.label_names)
@@ -156,6 +180,11 @@ class GraphDatabase:
         db.code_cache = CodeCache(enabled=code_cache_enabled)
         db._node_labels = list(db.graph.labels())
         db.index_generation = 0
+        db.mmap_views = use_views
+        db._snapshot = snapshot
+        db._snapshot_config = (
+            buffer_bytes, page_size, code_cache_enabled, use_views
+        )
         return db
 
     # ------------------------------------------------------------------
@@ -243,6 +272,63 @@ class GraphDatabase:
         """``in(x)`` as a sorted ``array('q')`` (the batch kernels' view)."""
         return self.labeling.in_code_array(node)
 
+    def out_code_view(self, node: int):
+        """``out(x)`` as a zero-copy snapshot slice when ``mmap_views``
+        (else the memoized array — identical values either way)."""
+        return self.labeling.out_code_view(node)
+
+    def in_code_view(self, node: int):
+        """``in(x)`` view twin of :meth:`out_code_view`."""
+        return self.labeling.in_code_view(node)
+
+    def extent_view(self, label: str):
+        """All *label*-labeled node ids, sorted, as a zero-copy snapshot
+        slice — the mmap-native seed scan's column (skips base tables).
+
+        Only valid when ``mmap_views`` is True; the label-id space is the
+        snapshot's sorted label dictionary, which ``_table_labels``
+        mirrors on a snapshot-loaded database.
+        """
+        if self._snapshot is None:
+            raise RuntimeError(
+                "extent_view needs a snapshot-backed database"
+            )
+        return self._snapshot.extent_view(self._table_labels.index(label))
+
+    # ------------------------------------------------------------------
+    @property
+    def snapshot_handle(self):
+        """The backing :class:`~repro.storage.snapshot.Snapshot`, or
+        ``None`` for an eagerly-built database."""
+        return self._snapshot
+
+    def snapshot_descriptor(self) -> Optional[Tuple]:
+        """What a process worker needs to re-open this database by path:
+        ``(path, index_generation, buffer_bytes, page_size,
+        code_cache_enabled, use_views)`` — or ``None`` when the database
+        is not snapshot-backed (or its snapshot has been closed), in
+        which case workers must fall back to fork inheritance.
+        """
+        if self._snapshot is None or self._snapshot.closed:
+            return None
+        if self._snapshot_config is None:
+            return None
+        if not isinstance(self.join_index, SnapshotRJoinIndex):
+            # rebuild_join_index swapped in a live tree: the file on disk
+            # no longer describes this database
+            return None
+        buffer_bytes, page_size, code_cache_enabled, use_views = (
+            self._snapshot_config
+        )
+        return (
+            self._snapshot.path,
+            self.index_generation,
+            buffer_bytes,
+            page_size,
+            code_cache_enabled,
+            use_views,
+        )
+
     def get_centers(self, node: int, x_label: str, y_label: str) -> FrozenSet[int]:
         """``getCenters(x, X, Y) = out(x) ∩ W(X, Y)`` (Eq. 6)."""
         wxy = self.join_index.centers(x_label, y_label)
@@ -297,6 +383,10 @@ class GraphDatabase:
         self.join_index = ClusterRJoinIndex(self.pool, self.graph, self.labeling)
         self.catalog = Catalog(self.graph, self.labeling)
         self.index_generation += 1
+        # the tree-backed index has no views; the snapshot file no longer
+        # describes the live index either, so workers must stop re-opening
+        # it by path (snapshot_descriptor's generation check catches this)
+        self.mmap_views = False
         self.pool.flush_all()
 
     # ------------------------------------------------------------------

@@ -199,6 +199,9 @@ class SnapshotRJoinIndex:
             pair: position
             for position, pair in enumerate(snapshot.wtable_pairs())
         }
+        self._label_ids: Dict[str, int] = {
+            name: i for i, name in enumerate(snapshot.label_names)
+        }
         self._centers_arrays: Dict[Tuple[str, str], "array[int]"] = {}
         self._centers_tuples: Dict[Tuple[str, str], Tuple[int, ...]] = {}
         # per-center decoded leaves, filled on first get_ft probe
@@ -251,6 +254,43 @@ class SnapshotRJoinIndex:
                 return _EMPTY_SUBCLUSTERS
             leaf = self._leaves[center] = self._snapshot.subclusters_at(position)
         return leaf
+
+    # ------------------------------------------------------------------
+    # blessed view API (raw-runs snapshots): zero-copy twins of the
+    # accessors above.  Deliberately NOT memoized — each call re-addresses
+    # the mapping in O(1), and holding slices on the index would pin the
+    # mapping past ``Snapshot.close()``.
+    # ------------------------------------------------------------------
+    @property
+    def supports_views(self) -> bool:
+        """True when the backing snapshot allows the zero-copy view API."""
+        return self._snapshot.supports_views
+
+    def centers_view(self, x_label: str, y_label: str):
+        """``W(X, Y)`` as a zero-copy sorted slice of the mapping."""
+        position = self._pair_positions.get((x_label, y_label))
+        if position is None:
+            return _EMPTY_ARRAY
+        return self._snapshot.wtable_view(position)
+
+    def get_ft_views(self, center: int):
+        """View twin of :meth:`get_ft`: both labeled maps with every
+        subcluster a zero-copy slice; fresh dicts per call, never cached."""
+        position = self._snapshot.center_position(center)
+        if position < 0:
+            return _EMPTY_SUBCLUSTERS
+        return self._snapshot.subcluster_views_at(position)
+
+    def subcluster_view(self, center: int, label: str, side: int):
+        """One ``(center, label, side)`` run as a zero-copy slice, or
+        ``None`` when absent (*side* is ``snapshot.SIDE_F``/``SIDE_T``)."""
+        position = self._snapshot.center_position(center)
+        if position < 0:
+            return None
+        label_id = self._label_ids.get(label)
+        if label_id is None:
+            return None
+        return self._snapshot.subcluster_run_view(position, side, label_id)
 
     # ------------------------------------------------------------------
     # inspection API

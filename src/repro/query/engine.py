@@ -112,22 +112,28 @@ class GraphEngine:
         return engine
 
     @classmethod
-    def from_snapshot(cls, path: str, **kwargs) -> "GraphEngine":
+    def from_snapshot(
+        cls, path: str, use_views: Optional[bool] = None, **kwargs
+    ) -> "GraphEngine":
         """Open a binary snapshot file and serve queries from it.
 
         The database constructs around the mmap-backed snapshot with no
         index rebuild (:meth:`GraphDatabase.from_snapshot`); keyword
-        arguments are those of :meth:`from_database`.  The engine starts
-        with a fresh :class:`CenterCache` and worker pool, both keyed on
-        the new database's ``index_generation`` — nothing can leak from
-        whatever engine wrote the snapshot.
+        arguments are those of :meth:`from_database`.  ``use_views``
+        selects the mmap-native read path (default: on when the file
+        layout supports it) — see :meth:`GraphDatabase.from_snapshot`.
+        The engine starts with a fresh :class:`CenterCache` and worker
+        pool, both keyed on the new database's ``index_generation`` —
+        nothing can leak from whatever engine wrote the snapshot.
         """
         from ..db.persist import load_database
         from ..storage.snapshot import SnapshotError, is_snapshot
 
         if not is_snapshot(path):
             raise SnapshotError(f"{path!r} is not a binary snapshot")
-        return cls.from_database(load_database(path), **kwargs)
+        return cls.from_database(
+            load_database(path, use_views=use_views), **kwargs
+        )
 
     #: class-level fallbacks so hand-wrapped engines (``__new__`` + attribute
     #: assignment, as older callers do) default to the scalar sequential path

@@ -170,5 +170,18 @@ class ExecutionContext:
         return self.batch_size is not None and self.batch_size > 1
 
     @property
+    def mmap_native(self) -> bool:
+        """True when the batch operators should address zero-copy
+        snapshot slices instead of materializing arrays and tuples.
+
+        Requires both the vectorized substrate (the scalar oracle always
+        runs on materialized codes) and a view-capable snapshot-backed
+        database (``db.mmap_views``).  Every result and per-op counter is
+        byte-identical either way — this picks a representation, never a
+        semantics.
+        """
+        return self.batched and getattr(self.db, "mmap_views", False)
+
+    @property
     def parallel(self) -> bool:
         return self.workers is not None and self.workers > 1

@@ -27,6 +27,18 @@ tolerated and collapse in the output) and is property-tested against the
 builtin ``set`` type in ``tests/test_kernels.py``.  The scalar operators
 remain the semantic oracle; the kernels must agree with them bit for bit
 on result sets and logical counters (``tests/test_batch_differential.py``).
+
+Input representation: every kernel takes *sorted int sequences* and is
+agnostic to their concrete type.  Two representations are first-class
+and differentially tested against each other:
+
+* ``array('q')`` — the materialized path, and the differential oracle;
+* ``memoryview('q')`` — zero-copy slices straight out of an mmap-backed
+  snapshot (the blessed view API of :mod:`repro.storage.snapshot`),
+  which the mmap-native operators feed in without any decode pass.
+
+Outputs are always freshly materialized (``array('q')``/tuples), never
+views — kernel results may be cached and must not pin the mapping.
 """
 
 from __future__ import annotations
@@ -100,6 +112,9 @@ def intersect(a: Sequence[int], b: Sequence[int]) -> "array[int]":
 
     Dispatches between :func:`intersect_merge` and
     :func:`intersect_gallop` on the size ratio (``GALLOP_RATIO``).
+    Accepts ``array('q')`` and ``memoryview('q')`` inputs in any mix
+    (emptiness, indexing and ``bisect`` behave identically on both); the
+    result is always a fresh array regardless of input type.
     """
     if not a or not b:
         return _EMPTY
@@ -123,7 +138,8 @@ def batch_get_centers(
 
     *codes* is positionally parallel to *nodes* (the caller resolves each
     node's sorted in/out graph code); the result list is parallel too,
-    one sorted tuple of centers per node (possibly empty).
+    one sorted tuple of centers per node (possibly empty).  Both *codes*
+    entries and *w_array* may be arrays or zero-copy snapshot views.
     """
     if not w_array:
         return [() for _ in nodes]
@@ -141,7 +157,9 @@ def gather_union(
     Returns ``(partners, total)`` where *partners* preserves first-seen
     order across the input lists (matching the scalar Fetch's dedup
     order) and *total* is the pre-dedup node count — the quantity the
-    scalar path charges into ``nodes_fetched``.
+    scalar path charges into ``nodes_fetched``.  Input lists may be
+    tuples, arrays or zero-copy snapshot views; the output tuples are
+    always materialized ints.
     """
     total = 0
     if len(partner_lists) == 1:

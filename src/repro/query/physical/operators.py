@@ -30,6 +30,19 @@ drains each ``rows()`` into a temporal table, the streaming driver chains
 the generators.  Deduplication sets, the Remark 3.1 shared scan, the
 per-center subcluster cache and all metric counting live here and
 nowhere else, so the two execution modes cannot drift apart.
+
+When the context reports ``mmap_native`` (batched execution over a
+view-capable snapshot-backed database), every operator routes its reads
+through the snapshot's blessed zero-copy view API instead of
+materializing codes, W-entries and subclusters: the seed scan iterates
+the per-label node column, HPSJ and Fetch slice subcluster runs, Filter
+gallops code slices into W-slices, Selection intersects code slices
+directly.  This changes only the *representation* handed to the kernels
+— emitted rows and every per-op counter are byte-identical to the
+materializing path, which the mmap-native differential suite pins.
+Views are consumed and dropped within the call; only materialized
+tuples enter any memo or cache, so nothing here can pin the mapping
+past ``Snapshot.close()``.
 """
 
 from __future__ import annotations
@@ -47,6 +60,7 @@ from ..algebra import (
     SelectionStep,
     Side,
 )
+from ...storage.snapshot import SIDE_F, SIDE_T
 from ..pattern import Condition
 from . import kernels
 from .context import ExecutionContext, OperatorMetrics, RowLayout
@@ -120,7 +134,13 @@ class PhysicalOperator:
 # seeds
 # ----------------------------------------------------------------------
 class SeedScanOp(PhysicalOperator):
-    """Scan one base table to seed a single-variable intermediate."""
+    """Scan one base table to seed a single-variable intermediate.
+
+    Mmap-native mode reads the snapshot's per-label node column instead
+    — same sorted node ids the primary-key scan yields, without ever
+    materializing the base table's rows (the single largest allocation
+    of a scan-seeded query).
+    """
 
     def __init__(self, ctx: ExecutionContext, var: str):
         super().__init__(ctx, f"scan({var})", RowLayout((var,)))
@@ -129,6 +149,11 @@ class SeedScanOp(PhysicalOperator):
 
     def _produce(self, source: Optional[Iterable[Row]]) -> Iterator[Row]:
         metrics = self.metrics
+        if self.ctx.mmap_native:
+            for node in self.ctx.db.extent_view(self.label):
+                metrics.rows_in += 1
+                yield (node,)
+            return
         for row in self.ctx.db.base_table(self.label).scan():
             metrics.rows_in += 1
             yield (row[0],)
@@ -170,11 +195,18 @@ class SeedJoinOp(PhysicalOperator):
         db = self.ctx.db
         metrics = self.metrics
         seen = self._seen
+        # mmap-native: each leaf read is a pair of dicts of zero-copy
+        # run slices, consumed immediately below, never retained
+        get_ft = (
+            db.join_index.get_ft_views
+            if self.ctx.mmap_native
+            else db.join_index.get_ft
+        )
         for center in centers:
             metrics.centers_probed += 1
             # one combined probe: both subcluster maps live in the same
             # leaf, so get_f + get_t would descend the tree twice for it
-            f_sub, t_sub = db.join_index.get_ft(center)
+            f_sub, t_sub = get_ft(center)
             f_nodes = f_sub.get(self.x_label, ())
             t_nodes = t_sub.get(self.y_label, ())
             metrics.nodes_fetched += len(f_nodes) + len(t_nodes)
@@ -204,9 +236,15 @@ class SeedJoinOp(PhysicalOperator):
             self.close()
 
     def _produce(self, source: Optional[Iterable[Row]]) -> Iterator[Row]:
-        yield from self._enumerate(
-            self.ctx.db.join_index.centers(self.x_label, self.y_label)
-        )
+        index = self.ctx.db.join_index
+        if self.ctx.mmap_native:
+            # W(X, Y) as a zero-copy slice — same ids, no decode/memoize
+            centers: Iterable[int] = index.centers_view(
+                self.x_label, self.y_label
+            )
+        else:
+            centers = index.centers(self.x_label, self.y_label)
+        yield from self._enumerate(centers)
 
 
 # ----------------------------------------------------------------------
@@ -265,12 +303,26 @@ class SharedFilterOp(PhysicalOperator):
         self._batch_keys = []
         if self.ctx.batched:
             db = self.ctx.db
+            native = self.ctx.mmap_native
             for (x_label, y_label), side in self.label_pairs:
+                if native:
+                    # zero-copy W-slice and per-node code slices; the
+                    # intersection results entering the memo/cache are
+                    # materialized tuples either way
+                    w_entry = db.join_index.centers_view(x_label, y_label)
+                    code_of = (
+                        db.out_code_view if side is Side.OUT else db.in_code_view
+                    )
+                else:
+                    w_entry = db.join_index.centers_array(x_label, y_label)
+                    code_of = (
+                        db.out_code_array if side is Side.OUT else db.in_code_array
+                    )
                 self._batch_keys.append(
                     (
-                        db.join_index.centers_array(x_label, y_label),
+                        w_entry,
                         kernels.intern_label_pair(x_label, y_label),
-                        db.out_code_array if side is Side.OUT else db.in_code_array,
+                        code_of,
                         side,
                     )
                 )
@@ -387,6 +439,9 @@ class FetchOp(PhysicalOperator):
         self.centers_position = input_layout.pending_position(key)
         x_label, y_label = ctx.pattern.condition_labels(condition)
         self.fetch_label = y_label if side is Side.OUT else x_label
+        # snapshot-side tag of the subcluster run the view path slices:
+        # Side.OUT fetches the T-subcluster, Side.IN the F-subcluster
+        self.snap_side = SIDE_T if side is Side.OUT else SIDE_F
         # positions of the surviving pending columns in the input rows
         self.keep_positions = [
             input_layout.pending_position(k) for k in remaining
@@ -433,6 +488,20 @@ class FetchOp(PhysicalOperator):
         self._subclusters[center] = partners
         return partners
 
+    def _subcluster_view(self, center: int):
+        """View twin of :meth:`_subcluster`: a zero-copy run slice.
+
+        No memo and no CenterCache on purpose — the slice is an O(1)
+        re-address of the mapping (there is no tree descent to amortize),
+        and holding views in a memo or the cross-query cache would pin
+        the mapping past ``Snapshot.close()``.  Only materialized tuples
+        (the per-centers-set unions in ``_partners_memo``) are cached.
+        """
+        run = self.ctx.db.join_index.subcluster_view(
+            center, self.fetch_label, self.snap_side
+        )
+        return () if run is None else run
+
     def _produce(self, source: Optional[Iterable[Row]]) -> Iterator[Row]:
         if self.ctx.batched:
             yield from self._produce_batched(source)
@@ -464,13 +533,16 @@ class FetchOp(PhysicalOperator):
         metrics = self.metrics
         memo = self._partners_memo
         centers_position = self.centers_position
+        subcluster = (
+            self._subcluster_view if self.ctx.mmap_native else self._subcluster
+        )
         for block in kernels.iter_blocks(self._pull(source), self.ctx.batch_size):
             for row in block:
                 centers = row[centers_position]
                 entry = memo.get(centers)
                 if entry is None:
                     entry = memo[centers] = kernels.gather_union(
-                        [self._subcluster(center) for center in centers]
+                        [subcluster(center) for center in centers]
                     )
                 partners, volume = entry
                 metrics.centers_probed += len(centers)
@@ -509,6 +581,17 @@ class SelectionOp(PhysicalOperator):
         db = self.ctx.db
         src_position = self.src_position
         dst_position = self.dst_position
+        if self.ctx.mmap_native:
+            # Eq. 5 on zero-copy code slices: non-empty intersection of
+            # out(x) and in(y), no frozenset materialization per row
+            out_view = db.out_code_view
+            in_view = db.in_code_view
+            for row in self._pull(source):
+                if kernels.intersect(
+                    out_view(row[src_position]), in_view(row[dst_position])
+                ):
+                    yield tuple(row)
+            return
         for row in self._pull(source):
             if db.reaches(row[src_position], row[dst_position]):
                 yield tuple(row)

@@ -13,12 +13,23 @@ engines:
   platforms with ``fork`` is a ``ProcessPoolExecutor`` whose workers
   inherit the read-only database by copy-on-write (nothing is pickled
   for the index; only plans, morsels and result rows cross the process
-  boundary).  The ``thread`` backend is the portable fallback: the
-  storage engine (buffer pool LRU, B+-tree page table) is not
-  thread-safe, so thread-backend morsels serialize on a pool-level lock
-  — it exercises the identical scheduling/merging machinery and keeps
-  the feature usable where ``fork`` does not exist, but cannot speed up
-  CPU-bound work under the GIL.
+  boundary).  When the database is snapshot-backed, process workers
+  instead ``Snapshot.open`` the same file by path (a tiny picklable
+  descriptor ships through the initializer, never the database), so
+  every worker maps the identical bytes and the OS page cache is shared
+  across the whole pool — and the ``spawn`` start method becomes viable
+  (the ``spawn`` backend *requires* a snapshot-backed database, since it
+  has no fork inheritance to fall back on).  A snapshot-bound pool
+  registers itself as a holder on the snapshot
+  (:meth:`~repro.storage.snapshot.Snapshot.acquire`), so closing the
+  snapshot while the pool lives raises a clean ``SnapshotError`` naming
+  the pool instead of poisoning worker queries mid-flight.  The
+  ``thread`` backend is the portable fallback: the storage engine
+  (buffer pool LRU, B+-tree page table) is not thread-safe, so
+  thread-backend morsels serialize on a pool-level lock — it exercises
+  the identical scheduling/merging machinery and keeps the feature
+  usable where ``fork`` does not exist, but cannot speed up CPU-bound
+  work under the GIL.
 * :class:`ParallelExecution` — one plan execution: stage by stage it
   partitions the work, submits morsels, and merges results *in morsel
   order*.  Because every stage maps input rows to output rows
@@ -74,8 +85,9 @@ from .operators import (
     build_pipeline,
 )
 
-#: the two pool backends; "process" needs the fork start method
-BACKENDS = ("process", "thread")
+#: the pool backends; "process" needs the fork start method, "spawn"
+#: needs a snapshot-backed database (workers re-open the file by path)
+BACKENDS = ("process", "thread", "spawn")
 
 #: centers are heavier units than rows (each expands a Cartesian
 #: product), so center morsels are this many times smaller
@@ -108,6 +120,34 @@ _WORKER_DB: Optional[GraphDatabase] = None
 
 def _init_worker(db: GraphDatabase) -> None:
     global _WORKER_DB
+    _WORKER_DB = db
+
+
+def _init_snapshot_worker(descriptor: Tuple) -> None:
+    """Open the pool's snapshot file inside this worker process.
+
+    *descriptor* is ``GraphDatabase.snapshot_descriptor()``: just a path
+    plus scalar configuration, picklable under any start method.  Every
+    worker maps the same on-disk bytes, so the OS page cache backs the
+    whole pool with one copy — nothing database-sized ever crosses the
+    process boundary.
+    """
+    global _WORKER_DB
+    # imported lazily: only workers of snapshot-bound pools need it
+    from ...storage.snapshot import Snapshot
+
+    (path, generation, buffer_bytes, page_size,
+     code_cache_enabled, use_views) = descriptor
+    db = GraphDatabase.from_snapshot(
+        Snapshot.open(path),
+        buffer_bytes=buffer_bytes,
+        page_size=page_size,
+        code_cache_enabled=code_cache_enabled,
+        use_views=use_views,
+    )
+    # align with the coordinator's generation so cache sync and the
+    # sanitizer's generation assertions agree across the pool
+    db.index_generation = generation
     _WORKER_DB = db
 
 
@@ -181,18 +221,29 @@ def _locked_stage(
 class WorkerPool:
     """A reusable morsel-execution pool bound to one database snapshot.
 
-    ``process`` backend: a fork-context ``ProcessPoolExecutor`` whose
-    initializer hands each worker the database object.  With the fork
-    start method, initializer arguments travel by memory inheritance, so
-    workers share the index pages copy-on-write and nothing index-sized
-    is ever serialized.  Workers fork lazily on first use, each one
-    receiving the database state as of its fork — which is why a pool is
-    *bound* to an index generation: :meth:`compatible` refuses reuse
-    after ``rebuild_join_index()`` bumped the generation, and the engine
-    then builds a fresh pool.
+    ``process`` backend: a fork-context ``ProcessPoolExecutor``.  For a
+    snapshot-backed database the initializer ships the snapshot
+    *descriptor* (path + scalar config) and each worker re-opens the file
+    itself — all workers map the same bytes, shared by the OS page
+    cache.  Otherwise the initializer hands each worker the database
+    object through fork memory inheritance, so workers share the index
+    pages copy-on-write and nothing index-sized is ever serialized.
+    Workers start lazily on first use, each one receiving the database
+    state as of its start — which is why a pool is *bound* to an index
+    generation: :meth:`compatible` refuses reuse after
+    ``rebuild_join_index()`` bumped the generation, and the engine then
+    builds a fresh pool.
+
+    ``spawn`` backend: the same descriptor-shipping pool on the spawn
+    start method — no fork inheritance exists there, so it *requires*
+    a snapshot-backed database and refuses anything else.
 
     ``thread`` backend: a ``ThreadPoolExecutor`` plus the serializing
     lock described in the module docstring.
+
+    A pool whose workers map a snapshot registers itself as a holder on
+    it for its whole lifetime (``Snapshot.acquire``/``release``), so a
+    premature ``Snapshot.close()`` fails cleanly, naming this pool.
     """
 
     def __init__(
@@ -211,30 +262,60 @@ class WorkerPool:
                 "the process backend needs the fork start method; "
                 "use parallel_backend='thread' on this platform"
             )
+        descriptor = None
+        get_descriptor = getattr(db, "snapshot_descriptor", None)
+        if get_descriptor is not None:
+            descriptor = get_descriptor()
+        if backend == "spawn" and descriptor is None:
+            raise ValueError(
+                "the spawn backend ships a snapshot descriptor instead of "
+                "pickling the database; it needs a snapshot-backed "
+                "database (save to .snap and load it, or use the process/"
+                "thread backend)"
+            )
         self.workers = max(1, int(workers))
         self.backend = backend
         self.generation = getattr(db, "index_generation", 0)
         self.closed = False
         self._db = db
+        # hold the mapping for the pool's lifetime: thread workers read
+        # it directly, process/spawn workers map the same file — either
+        # way a close() now would poison in-flight morsels
+        self._snapshot = getattr(db, "snapshot_handle", None)
+        self._owner_label = f"WorkerPool({backend}, workers={self.workers})"
+        if self._snapshot is not None:
+            self._snapshot.acquire(self._owner_label)
         started = time.perf_counter()
-        if backend == "process":
-            self._lock: Optional[threading.Lock] = None
-            self._executor: ProcessPoolExecutor | ThreadPoolExecutor = (
-                ProcessPoolExecutor(
-                    max_workers=self.workers,
-                    mp_context=multiprocessing.get_context("fork"),
-                    initializer=_init_worker,
-                    initargs=(db,),
+        try:
+            if backend in ("process", "spawn"):
+                self._lock: Optional[threading.Lock] = None
+                ship_snapshot = descriptor is not None
+                start_method = "fork" if backend == "process" else "spawn"
+                self._executor: ProcessPoolExecutor | ThreadPoolExecutor = (
+                    ProcessPoolExecutor(
+                        max_workers=self.workers,
+                        mp_context=multiprocessing.get_context(start_method),
+                        initializer=(
+                            _init_snapshot_worker
+                            if ship_snapshot
+                            else _init_worker
+                        ),
+                        initargs=(descriptor,) if ship_snapshot else (db,),
+                    )
                 )
-            )
-            # fork one worker eagerly so pool construction surfaces fork
-            # problems and the first query doesn't pay the whole spawn
-            self._executor.submit(_probe_worker).result()
-        else:
-            self._lock = threading.Lock()
-            self._executor = ThreadPoolExecutor(
-                max_workers=self.workers, thread_name_prefix="repro-morsel"
-            )
+                # start one worker eagerly so pool construction surfaces
+                # fork/spawn problems and the first query doesn't pay the
+                # whole worker start-up
+                self._executor.submit(_probe_worker).result()
+            else:
+                self._lock = threading.Lock()
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="repro-morsel"
+                )
+        except BaseException:
+            if self._snapshot is not None:
+                self._snapshot.release(self._owner_label)
+            raise
         self.init_seconds = time.perf_counter() - started
 
     def compatible(self, db: GraphDatabase) -> bool:
@@ -248,16 +329,18 @@ class WorkerPool:
     def submit(self, payload: Payload) -> "Future[StageResult]":
         if self.closed:
             raise RuntimeError("worker pool is closed")
-        if self.backend == "process":
+        if self.backend in ("process", "spawn"):
             return self._executor.submit(_run_stage, payload)
         assert self._lock is not None
         return self._executor.submit(_locked_stage, self._lock, payload, self._db)
 
     def shutdown(self) -> None:
-        """Terminate the workers; idempotent."""
+        """Terminate the workers and release the snapshot; idempotent."""
         if not self.closed:
             self.closed = True
             self._executor.shutdown(wait=True, cancel_futures=True)
+            if self._snapshot is not None:
+                self._snapshot.release(self._owner_label)
 
 
 def _probe_worker() -> bool:

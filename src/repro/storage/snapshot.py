@@ -44,12 +44,36 @@ raise :class:`SnapshotError` at :meth:`Snapshot.open` — never garbage
 query results.  The per-section CRCs in the TOC allow the same check per
 section (and localize the damage when it fails).
 
-Delta encoding: every sorted id run (a node's code, a subcluster, a
-W-table center list, the sorted edge source column) stores its first
-value raw and each subsequent value as the difference from its
-predecessor; decoding is one :func:`itertools.accumulate` pass.  Sorted
-runs of clustered ids compress to small deltas, and decode cost is paid
-only for the rows a query actually touches.
+Run encoding: every sorted id run (a node's code, a subcluster, a
+W-table center list, the sorted edge source column) is stored in one of
+two layouts, selected by the ``FLAG_RAW_RUNS`` header flag:
+
+* **delta** (``flags`` bit 0 clear — the PR 5 layout): first value raw,
+  each subsequent value the difference from its predecessor; decoding is
+  one :func:`itertools.accumulate` pass per touched row.
+* **raw** (``flags`` bit 0 set — the default the writer emits): the
+  absolute sorted values themselves.  Both layouts occupy exactly the
+  same bytes (``n`` int64s per ``n``-element run — fixed-width columns
+  gain nothing from small deltas), but raw runs are directly usable as
+  ``memoryview.cast('q')`` slices, which is what makes the *blessed view
+  API* below zero-copy: ``in_code_view``/``out_code_view``/
+  ``wtable_view``/``subcluster_run_view``/``subcluster_views_at``/
+  ``extent_view`` hand the batch kernels sorted int64 slices straight
+  into the mapping, no tuple or array materialization at all.  Raw
+  snapshots additionally carry the ``extoff``/``extnodes`` sections (the
+  per-label node columns the seed scan reads).  The mmap confinement
+  rules (``mmap/view-escape``/``mmap/view-held``) recognize exactly this
+  blessed surface: its slices may flow along the read path (db, labeling,
+  physical operators) but must never be stored on objects that outlive
+  the snapshot — see :mod:`repro.analysis.contracts`.
+
+Because a pool of process workers may have the same file mapped
+(:class:`~repro.query.physical.parallel.WorkerPool` re-opens
+snapshot-backed databases by path inside each worker), :meth:`Snapshot.
+close` refuses to run while registered holders exist: pools
+:meth:`acquire` the snapshot on construction and :meth:`release` it on
+shutdown, and a premature ``close()`` raises :class:`SnapshotError`
+naming the live pool instead of poisoning its queries mid-flight.
 """
 
 from __future__ import annotations
@@ -66,6 +90,13 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 SNAPSHOT_MAGIC = b"RGPMSNAP"
 SNAPSHOT_VERSION = 1
+
+#: header flag bit: run sections store raw absolute values (zero-copy
+#: slice-addressable) instead of delta-encoded differences
+FLAG_RAW_RUNS = 1
+
+#: all flag bits this build understands; unknown bits are rejected
+_KNOWN_FLAGS = FLAG_RAW_RUNS
 
 _HEADER = struct.Struct("<8sII")
 _TOC_ENTRY = struct.Struct("<16sQQII")
@@ -94,6 +125,13 @@ SECTION_NAMES = (
     "subval",      # subcluster node runs, delta-encoded
     "extents",     # catalog: extent size per label id                  [L]
     "catpairs",    # catalog: (x, y, pair_estimate, centers, volume)   [5K]
+)
+
+#: extra sections a raw-runs snapshot must also contain: the per-label
+#: node columns (CSR over label ids) the mmap-native seed scan slices
+RAW_SECTION_NAMES = (
+    "extoff",      # CSR offsets into extnodes, one run per label      [L+1]
+    "extnodes",    # sorted node ids grouped by label id                 [n]
 )
 
 _META_FIELDS = 6
@@ -136,12 +174,19 @@ def _delta(values: Sequence[int]) -> Iterator[int]:
         previous = value
 
 
-def _encode_runs(runs: Sequence[Sequence[int]]) -> Tuple[array, array]:
-    """CSR-encode sorted id runs: (element offsets [len+1], delta values)."""
+def _encode_runs(
+    runs: Sequence[Sequence[int]], raw: bool = False
+) -> Tuple[array, array]:
+    """CSR-encode sorted id runs: (element offsets [len+1], values).
+
+    ``raw`` stores the absolute sorted values (slice-addressable without
+    a decode pass); otherwise values are delta-encoded.  Both layouts are
+    byte-for-byte the same size.
+    """
     offsets = array("q", [0])
     values = array("q")
     for run in runs:
-        values.extend(_delta(run))
+        values.extend(run if raw else _delta(run))
         offsets.append(len(values))
     return offsets, values
 
@@ -152,7 +197,8 @@ def _encode_runs(runs: Sequence[Sequence[int]]) -> Tuple[array, array]:
 class _SnapshotWriter:
     """Accumulates named sections and writes the final single file."""
 
-    def __init__(self) -> None:
+    def __init__(self, flags: int = 0) -> None:
+        self._flags = flags
         self._sections: List[Tuple[str, bytes]] = []
 
     def add(self, name: str, payload: bytes) -> None:
@@ -164,7 +210,9 @@ class _SnapshotWriter:
         self.add(name, values.tobytes())
 
     def tobytes(self) -> bytes:
-        out = bytearray(_HEADER.pack(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, 0))
+        out = bytearray(
+            _HEADER.pack(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, self._flags)
+        )
         toc = bytearray()
         for name, payload in self._sections:
             if pad := (-len(out)) % 8:
@@ -191,13 +239,18 @@ class _SnapshotWriter:
         return bytes(out)
 
 
-def encode_snapshot(db) -> bytes:
+def encode_snapshot(db, raw_runs: bool = True) -> bytes:
     """Serialize a built :class:`~repro.db.database.GraphDatabase`.
 
     Reads only the public surfaces (graph, labeling codes, join-index
     leaves, W-table entries, catalog stats), so it works identically on
     an eagerly-built database and on a snapshot-loaded one — which is
     what makes save → load → save byte-stable.
+
+    ``raw_runs`` selects the run layout: ``True`` (default) stores raw
+    absolute sorted values plus the per-label node columns, enabling the
+    zero-copy view API; ``False`` reproduces the delta-encoded legacy
+    layout byte for byte.
     """
     _require_little_endian()
     graph = db.graph
@@ -209,7 +262,7 @@ def encode_snapshot(db) -> bytes:
     label_names = sorted(set(graph.labels())) if n else []
     label_ids = {name: i for i, name in enumerate(label_names)}
 
-    writer = _SnapshotWriter()
+    writer = _SnapshotWriter(flags=FLAG_RAW_RUNS if raw_runs else 0)
     writer.add(
         "labelnames", b"\x00".join(name.encode("utf-8") for name in label_names)
     )
@@ -218,15 +271,16 @@ def encode_snapshot(db) -> bytes:
     )
 
     edges = sorted(graph.edges())
-    edge_values = array("q", _delta([u for u, _ in edges]))
+    sources = [u for u, _ in edges]
+    edge_values = array("q", sources if raw_runs else _delta(sources))
     edge_values.extend(v for _, v in edges)
     writer.add_array("edges", edge_values)
 
     in_off, in_val = _encode_runs(
-        [sorted(labeling.in_codes[v]) for v in range(n)]
+        [sorted(labeling.in_codes[v]) for v in range(n)], raw=raw_runs
     )
     out_off, out_val = _encode_runs(
-        [sorted(labeling.out_codes[v]) for v in range(n)]
+        [sorted(labeling.out_codes[v]) for v in range(n)], raw=raw_runs
     )
     writer.add_array("inoff", in_off)
     writer.add_array("inval", in_val)
@@ -238,7 +292,7 @@ def encode_snapshot(db) -> bytes:
     for (x_label, y_label), centers in sorted(index.wtable_items()):
         wdir.extend((label_ids[x_label], label_ids[y_label]))
         wruns.append(centers)
-    w_off, w_val = _encode_runs(wruns)
+    w_off, w_val = _encode_runs(wruns, raw=raw_runs)
     writer.add_array("wdir", wdir)
     writer.add_array("woff", w_off)
     writer.add_array("wval", w_val)
@@ -261,11 +315,21 @@ def encode_snapshot(db) -> bytes:
                 value_offset += len(nodes)
                 run_count += 1
         sub_off.append(run_count)
-    _, sub_val = _encode_runs(sub_runs)
+    _, sub_val = _encode_runs(sub_runs, raw=raw_runs)
     writer.add_array("centers", center_ids)
     writer.add_array("suboff", sub_off)
     writer.add_array("subdir", sub_dir)
     writer.add_array("subval", sub_val)
+
+    if raw_runs:
+        # per-label node columns: one sorted run per label id, in label-id
+        # order — ascending v keeps each run sorted without a second pass
+        extent_runs: List[List[int]] = [[] for _ in label_names]
+        for v in range(n):
+            extent_runs[label_ids[graph.label(v)]].append(v)
+        ext_off, ext_nodes = _encode_runs(extent_runs, raw=True)
+        writer.add_array("extoff", ext_off)
+        writer.add_array("extnodes", ext_nodes)
 
     writer.add_array(
         "extents",
@@ -299,7 +363,7 @@ def encode_snapshot(db) -> bytes:
     return writer.tobytes()
 
 
-def write_snapshot(db, path: str) -> None:
+def write_snapshot(db, path: str, raw_runs: bool = True) -> None:
     """Write *db* to *path* atomically (tmp file + fsync + rename).
 
     The durability sequence is the crash-safe one: flush and ``fsync``
@@ -307,7 +371,7 @@ def write_snapshot(db, path: str) -> None:
     entry so a power cut can neither promote a truncated temp file nor
     lose the rename itself.
     """
-    payload = encode_snapshot(db)
+    payload = encode_snapshot(db, raw_runs=raw_runs)
     tmp_path = f"{path}.tmp"
     with open(tmp_path, "wb") as f:
         f.write(payload)
@@ -346,13 +410,20 @@ class Snapshot:
     """
 
     def __init__(self, path: str, buffer: bytes, view: memoryview,
-                 sections: Dict[str, Tuple[int, int]], mapped: Optional[mmap.mmap]):
+                 sections: Dict[str, Tuple[int, int]], mapped: Optional[mmap.mmap],
+                 flags: int = 0):
         self.path = path
         self._buffer = buffer
         self._view = view
         self._sections = sections
         self._mmap = mapped
         self._closed = False
+        self.flags = flags
+        #: run sections hold raw absolute values → view API available
+        self.raw_runs = bool(flags & FLAG_RAW_RUNS)
+        #: live holders (worker pools) keyed by display name → refcount;
+        #: close() refuses while any remain
+        self._owners: Dict[str, int] = {}
         self.decode_stats: Dict[str, int] = {
             "code_rows": 0, "wtable_pairs": 0, "subcluster_runs": 0,
         }
@@ -400,22 +471,30 @@ class Snapshot:
                 f.seek(0)
                 buffer = f.read()
         try:
-            sections = cls._verify(path, buffer, size)
-            return cls(path, buffer, memoryview(buffer), sections, mapped)
+            sections, flags = cls._verify(path, buffer, size)
+            return cls(path, buffer, memoryview(buffer), sections, mapped,
+                       flags=flags)
         except SnapshotError:
             if mapped is not None:
                 mapped.close()
             raise
 
     @staticmethod
-    def _verify(path: str, buffer, size: int) -> Dict[str, Tuple[int, int]]:
-        magic, version, _flags = _HEADER.unpack_from(buffer, 0)
+    def _verify(
+        path: str, buffer, size: int
+    ) -> Tuple[Dict[str, Tuple[int, int]], int]:
+        magic, version, flags = _HEADER.unpack_from(buffer, 0)
         if magic != SNAPSHOT_MAGIC:
             raise SnapshotError(f"{path!r} does not start with snapshot magic")
         if version != SNAPSHOT_VERSION:
             raise SnapshotError(
                 f"{path!r} is snapshot version {version}; this build reads "
                 f"version {SNAPSHOT_VERSION}"
+            )
+        if unknown := flags & ~_KNOWN_FLAGS:
+            raise SnapshotError(
+                f"{path!r} sets unknown header flag bits {unknown:#x}; this "
+                f"build understands {_KNOWN_FLAGS:#x}"
             )
         toc_offset, toc_length, prefix_crc, section_count, end_magic = (
             _FOOTER.unpack_from(buffer, size - _FOOTER.size)
@@ -445,10 +524,13 @@ class Snapshot:
             if zlib.crc32(bytes(buffer[offset:offset + length])) != crc:
                 raise SnapshotError(f"{path!r} section {name!r} fails its CRC")
             sections[name] = (offset, length)
-        missing = [name for name in SECTION_NAMES if name not in sections]
+        required = SECTION_NAMES + (
+            RAW_SECTION_NAMES if flags & FLAG_RAW_RUNS else ()
+        )
+        missing = [name for name in required if name not in sections]
         if missing:
             raise SnapshotError(f"{path!r} is missing section(s) {missing}")
-        return sections
+        return sections, flags
 
     def _check_geometry(self) -> None:
         """Cross-check declared counts against section sizes."""
@@ -464,6 +546,9 @@ class Snapshot:
             "subdir": 4 * self.subcluster_runs,
             "extents": self.label_count,
         }
+        if self.raw_runs:
+            expectations["extoff"] = self.label_count + 1
+            expectations["extnodes"] = self.node_count
         for name, expected in expectations.items():
             actual = len(self._ints(name))
             if actual != expected:
@@ -479,8 +564,35 @@ class Snapshot:
     def closed(self) -> bool:
         return self._closed
 
+    def acquire(self, owner: str) -> None:
+        """Register *owner* (e.g. a worker pool) as a live holder.
+
+        While holders are registered, :meth:`close` raises instead of
+        unmapping the file out from under them.  Re-entrant: the same
+        owner name may acquire more than once and must release as often.
+        """
+        if self._closed:
+            raise SnapshotError(
+                f"cannot acquire closed snapshot {self.path!r} for {owner}"
+            )
+        self._owners[owner] = self._owners.get(owner, 0) + 1
+
+    def release(self, owner: str) -> None:
+        """Drop one registration of *owner*; unknown owners are ignored
+        (shutdown paths may run after an error unwound the acquire)."""
+        count = self._owners.get(owner, 0)
+        if count <= 1:
+            self._owners.pop(owner, None)
+        else:
+            self._owners[owner] = count - 1
+
     def close(self) -> None:
         """Release the mapping; idempotent.
+
+        Refuses with :class:`SnapshotError` while holders registered via
+        :meth:`acquire` (live worker pools) remain — closing the file a
+        pool of workers has mapped would poison their queries mid-flight,
+        so the error names the holders instead.
 
         Any view handed out earlier becomes invalid: further section
         access on this object raises ``SnapshotError("snapshot is
@@ -492,6 +604,12 @@ class Snapshot:
         """
         if self._closed:
             return
+        if self._owners:
+            holders = ", ".join(sorted(self._owners))
+            raise SnapshotError(
+                f"cannot close snapshot {self.path!r}: still held by "
+                f"{holders}; shut the pool down first"
+            )
         self._closed = True
         self._view.release()
         if self._mmap is not None:
@@ -534,6 +652,8 @@ class Snapshot:
     def edges(self) -> Iterator[Tuple[int, int]]:
         values = self._ints("edges")
         count = self.edge_count
+        if self.raw_runs:
+            return zip(values[:count], values[count:])
         return zip(accumulate(values[:count]), values[count:])
 
     def build_graph(self):
@@ -559,7 +679,8 @@ class Snapshot:
         offsets = self._ints(offsets_name)
         values = self._ints(values_name)
         self.decode_stats["code_rows"] += 1
-        return array("q", accumulate(values[offsets[node]:offsets[node + 1]]))
+        run = values[offsets[node]:offsets[node + 1]]
+        return array("q", run if self.raw_runs else accumulate(run))
 
     def in_code_array(self, node: int) -> array:
         """``in(x)`` as a freshly decoded sorted ``array('q')``."""
@@ -592,9 +713,8 @@ class Snapshot:
         offsets = self._ints("woff")
         values = self._ints("wval")
         self.decode_stats["wtable_pairs"] += 1
-        return array(
-            "q", accumulate(values[offsets[position]:offsets[position + 1]])
-        )
+        run = values[offsets[position]:offsets[position + 1]]
+        return array("q", run if self.raw_runs else accumulate(run))
 
     # ------------------------------------------------------------------
     # cluster directory
@@ -624,10 +744,98 @@ class Snapshot:
         t_sub: Dict[str, Tuple[int, ...]] = {}
         for run in range(sub_off[position], sub_off[position + 1]):
             side, label_id, value_offset, count = sub_dir[4 * run:4 * run + 4]
-            nodes = tuple(accumulate(sub_val[value_offset:value_offset + count]))
+            values = sub_val[value_offset:value_offset + count]
+            nodes = tuple(values if self.raw_runs else accumulate(values))
             self.decode_stats["subcluster_runs"] += 1
             (f_sub if side == SIDE_F else t_sub)[names[label_id]] = nodes
         return f_sub, t_sub
+
+    # ------------------------------------------------------------------
+    # blessed view API (raw-runs snapshots only): zero-copy sorted int64
+    # slices straight into the mapping, for the batch kernels.  The mmap
+    # confinement rules recognize exactly these producers — their slices
+    # may flow along the read path but must never outlive the snapshot.
+    # ------------------------------------------------------------------
+    @property
+    def supports_views(self) -> bool:
+        """True when the file layout allows the zero-copy view API."""
+        return self.raw_runs
+
+    def _require_views(self) -> None:
+        if not self.raw_runs:
+            raise SnapshotError(
+                f"snapshot {self.path!r} is delta-encoded (legacy layout); "
+                "the zero-copy view API needs a raw-runs snapshot — "
+                "rewrite it with write_snapshot(db, path)"
+            )
+
+    def _run_view(self, offsets_name: str, values_name: str,
+                  position: int) -> memoryview:
+        offsets = self._ints(offsets_name)
+        values = self._ints(values_name)
+        return values[offsets[position]:offsets[position + 1]]
+
+    def in_code_view(self, node: int) -> memoryview:
+        """``in(x)`` as a zero-copy sorted slice of the mapping."""
+        self._require_views()
+        if not (0 <= node < self.node_count):
+            raise IndexError(f"node {node} outside snapshot range")
+        return self._run_view("inoff", "inval", node)
+
+    def out_code_view(self, node: int) -> memoryview:
+        """``out(x)`` as a zero-copy sorted slice of the mapping."""
+        self._require_views()
+        if not (0 <= node < self.node_count):
+            raise IndexError(f"node {node} outside snapshot range")
+        return self._run_view("outoff", "outval", node)
+
+    def wtable_view(self, position: int) -> memoryview:
+        """Center list of the *position*-th W-table pair, zero-copy."""
+        self._require_views()
+        return self._run_view("woff", "wval", position)
+
+    def subcluster_run_view(self, position: int, side: int,
+                            label_id: int) -> Optional[memoryview]:
+        """The ``side``/``label_id`` subcluster run of the *position*-th
+        center as a zero-copy slice, or ``None`` when that run is absent
+        (empty subclusters are never stored)."""
+        self._require_views()
+        sub_off = self._ints("suboff")
+        sub_dir = self._ints("subdir")
+        sub_val = self._ints("subval")
+        for run in range(sub_off[position], sub_off[position + 1]):
+            base = 4 * run
+            if sub_dir[base] == side and sub_dir[base + 1] == label_id:
+                value_offset = sub_dir[base + 2]
+                count = sub_dir[base + 3]
+                return sub_val[value_offset:value_offset + count]
+        return None
+
+    def subcluster_views_at(
+        self, position: int
+    ) -> Tuple[Dict[str, memoryview], Dict[str, memoryview]]:
+        """The ``({X: F-run}, {Y: T-run})`` leaf of the *position*-th
+        center with every run a zero-copy slice (view twin of
+        :meth:`subclusters_at`; does not touch ``decode_stats``)."""
+        self._require_views()
+        sub_off = self._ints("suboff")
+        sub_dir = self._ints("subdir")
+        sub_val = self._ints("subval")
+        names = self.label_names
+        f_sub: Dict[str, memoryview] = {}
+        t_sub: Dict[str, memoryview] = {}
+        for run in range(sub_off[position], sub_off[position + 1]):
+            side, label_id, value_offset, count = sub_dir[4 * run:4 * run + 4]
+            view = sub_val[value_offset:value_offset + count]
+            (f_sub if side == SIDE_F else t_sub)[names[label_id]] = view
+        return f_sub, t_sub
+
+    def extent_view(self, label_id: int) -> memoryview:
+        """All node ids of *label_id*, sorted, as a zero-copy slice."""
+        self._require_views()
+        if not (0 <= label_id < self.label_count):
+            raise IndexError(f"label id {label_id} outside snapshot range")
+        return self._run_view("extoff", "extnodes", label_id)
 
     # ------------------------------------------------------------------
     # catalog
@@ -668,6 +876,8 @@ class Snapshot:
 
 
 __all__ = [
+    "FLAG_RAW_RUNS",
+    "RAW_SECTION_NAMES",
     "SNAPSHOT_MAGIC",
     "SNAPSHOT_VERSION",
     "SECTION_NAMES",

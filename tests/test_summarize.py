@@ -147,6 +147,37 @@ class TestDiff:
         assert len(lines) == 1
         assert "Q1/dps/batch" in lines[0]
 
+    def test_alloc_peak_regression_flagged(self, tmp_path):
+        old = _bench_file(tmp_path, "old.json", [
+            dict(self._entry("Q1", "dps", 10.0, "native"), alloc_peak_kib=100.0)
+        ])
+        new = _bench_file(tmp_path, "new.json", [
+            dict(self._entry("Q1", "dps", 10.0, "native"), alloc_peak_kib=200.0)
+        ])
+        lines = diff_bench_files(old, new)
+        assert len(lines) == 1
+        assert "alloc_peak_kib" in lines[0] and "KiB" in lines[0]
+        assert "Q1/dps/native" in lines[0]
+
+    def test_cold_cache_regression_flagged(self, tmp_path):
+        old = _bench_file(tmp_path, "old.json", [
+            dict(self._entry("Q1", "dps", 10.0), cold_wall_ms=50.0)
+        ])
+        new = _bench_file(tmp_path, "new.json", [
+            dict(self._entry("Q1", "dps", 10.0), cold_wall_ms=80.0)
+        ])
+        lines = diff_bench_files(old, new)
+        assert len(lines) == 1
+        assert "cold_wall_ms" in lines[0]
+
+    def test_missing_metric_is_skipped(self, tmp_path):
+        # a file written before a metric existed cannot regress on it
+        old = _bench_file(tmp_path, "old.json", [
+            dict(self._entry("Q1", "dps", 10.0), alloc_peak_kib=100.0)
+        ])
+        new = _bench_file(tmp_path, "new.json", [self._entry("Q1", "dps", 10.0)])
+        assert diff_bench_files(old, new) == []
+
     def test_unmatched_entries_reported_not_flagged(self, tmp_path, capsys):
         old = _bench_file(tmp_path, "old.json", [self._entry("Q1", "dps", 10.0)])
         new = _bench_file(tmp_path, "new.json", [self._entry("Q2", "dps", 99.0)])
