@@ -17,9 +17,11 @@ writes (``benchmarks/results/``):
 
 compares two BENCH files entry by entry (matched on query, optimizer and
 variant) and flags every regression above 15% in any gated metric —
-``wall_ms``, ``alloc_peak_kib`` (per-query Python-heap peak) and
-``cold_wall_ms`` (first-query latency on a freshly opened snapshot) —
-exiting non-zero if one is found: the CI regression gate.
+``wall_ms``, ``alloc_peak_kib`` (per-query Python-heap peak),
+``cold_wall_ms`` (first-query latency on a freshly opened snapshot) and
+``intermediate_rows`` (summed pre-projection operator output, the
+wcoj-vs-left-deep plan-quality signal) — exiting non-zero if one is
+found: the CI regression gate.
 """
 
 from __future__ import annotations
@@ -105,7 +107,10 @@ REGRESSION_THRESHOLD = 0.15
 
 #: the gated lower-is-better metrics; entries carrying any of them are
 #: compared field by field (an entry missing a metric is skipped for it)
-GATED_METRICS = ("wall_ms", "alloc_peak_kib", "cold_wall_ms")
+GATED_METRICS = ("wall_ms", "alloc_peak_kib", "cold_wall_ms", "intermediate_rows")
+
+#: display unit per gated-metric suffix (fallback: ms)
+_METRIC_UNITS = {"kib": "KiB", "rows": " rows"}
 
 
 def load_bench_entries(path: str) -> Dict[Any, Dict[str, Any]]:
@@ -141,7 +146,7 @@ def diff_bench_files(
             if growth > threshold:
                 query, optimizer, variant = key
                 tag = f"{query}/{optimizer}" + (f"/{variant}" if variant else "")
-                unit = "KiB" if metric.endswith("kib") else "ms"
+                unit = _METRIC_UNITS.get(metric.rpartition("_")[2], "ms")
                 regressions.append(
                     f"REGRESSION {tag} [{metric}]: {old_value:.2f}{unit} -> "
                     f"{new_value:.2f}{unit} "

@@ -24,6 +24,14 @@ Checked invariants (paper Alg. 2 / Section 4):
   would collide in the temporal table's schema;
 * catalog existence of every referenced label table and W-table entry
   (only when a database is supplied).
+
+Multiway (WCOJ) plans are first-class: a plan seeded by a
+:class:`~repro.query.algebra.MultiwaySeed` is simulated as a variable
+elimination order — every later step must be a ``MultiwayStep`` (mixing
+the two plan families is ``plan/mixed-paradigm``), every constraint must
+be keyed to bind exactly the step's variable (``plan/multiway-key``),
+scan an already-bound endpoint and cover its condition exactly once; the
+W-table and coverage checks are shared with the left-deep path.
 """
 
 from __future__ import annotations
@@ -34,6 +42,8 @@ from ..query.algebra import (
     FetchStep,
     FilterKey,
     FilterStep,
+    MultiwaySeed,
+    MultiwayStep,
     Plan,
     SeedJoin,
     SeedScan,
@@ -232,6 +242,58 @@ class _PlanChecker:
         self.bound.add(new_var)
         self._mark_done(step_obj.condition, step)
 
+    def _multiway_seed(self, step_obj: MultiwaySeed, step: int) -> None:
+        if step_obj.var not in self.pattern.variables:
+            self.report(
+                "plan/foreign-condition",
+                f"multiway seed binds unknown variable {step_obj.var!r}",
+                step,
+            )
+        self.bound.add(step_obj.var)
+        for condition, side in step_obj.constraints:
+            self._check_condition_known(condition, step)
+            if side.fetched_var(condition) != step_obj.var:
+                self.report(
+                    "plan/multiway-key",
+                    f"seed constraint {condition} [{side.value}] projects "
+                    f"onto {side.fetched_var(condition)!r}, not the seed "
+                    f"variable {step_obj.var!r}",
+                    step,
+                )
+            # seed constraints are sound projection pruning, not coverage:
+            # the condition is enforced at its later endpoint's step
+            self._check_wtable(condition, step)
+
+    def _multiway_step(self, step_obj: MultiwayStep, step: int) -> None:
+        if step_obj.var in self.bound:
+            self.report(
+                "plan/rebind",
+                f"multiway step re-binds variable {step_obj.var!r}; each "
+                "elimination order binds every variable exactly once",
+                step,
+            )
+        for condition, side in step_obj.constraints:
+            self._check_condition_known(condition, step)
+            if side.fetched_var(condition) != step_obj.var:
+                self.report(
+                    "plan/multiway-key",
+                    f"constraint {condition} [{side.value}] extends "
+                    f"{side.fetched_var(condition)!r}, not the step's "
+                    f"variable {step_obj.var!r}",
+                    step,
+                )
+            scanned = side.scanned_var(condition)
+            if scanned not in self.bound:
+                self.report(
+                    "plan/unbound-variable",
+                    f"multiway constraint {condition} scans variable "
+                    f"{scanned!r} before any step binds it",
+                    step,
+                )
+            self._mark_done(condition, step)
+            self._check_wtable(condition, step)
+        self.bound.add(step_obj.var)
+
     def _selection(self, step_obj: SelectionStep, step: int) -> None:
         condition = step_obj.condition
         self._check_condition_known(condition, step)
@@ -268,8 +330,20 @@ class _PlanChecker:
         if not steps:
             self.report("plan/empty", "plan has no steps")
             return self.diagnostics
+        if isinstance(steps[0], MultiwaySeed):
+            self._run_multiway(steps)
+            self._final_checks()
+            return self.diagnostics
         for index, step_obj in enumerate(steps):
-            if isinstance(step_obj, (SeedScan, SeedJoin)):
+            if isinstance(step_obj, (MultiwaySeed, MultiwayStep)):
+                self.report(
+                    "plan/mixed-paradigm",
+                    f"{type(step_obj).__name__} at position {index} inside a "
+                    "left-deep plan; multiway steps are only legal in a plan "
+                    "seeded by MultiwaySeed",
+                    index,
+                )
+            elif isinstance(step_obj, (SeedScan, SeedJoin)):
                 if index == 0:
                     self._seed(step_obj, index)
                 else:
@@ -290,7 +364,25 @@ class _PlanChecker:
                 self._dispatch(step_obj, index)
             else:
                 self._dispatch(step_obj, index)
+        self._final_checks()
+        return self.diagnostics
 
+    def _run_multiway(self, steps) -> None:
+        """Simulate a variable elimination order (MultiwaySeed plan)."""
+        self._multiway_seed(steps[0], 0)
+        for index, step_obj in enumerate(steps[1:], start=1):
+            if isinstance(step_obj, MultiwayStep):
+                self._multiway_step(step_obj, index)
+            else:
+                self.report(
+                    "plan/mixed-paradigm",
+                    f"{type(step_obj).__name__} at position {index} inside a "
+                    "multiway plan; after a MultiwaySeed every step must be "
+                    "a MultiwayStep",
+                    index,
+                )
+
+    def _final_checks(self) -> None:
         for condition in self.pattern.conditions:
             if condition not in self.done:
                 self.report(
@@ -310,7 +402,6 @@ class _PlanChecker:
                 f"filter for {condition} [{side.value}] is never fetched; "
                 "its centers column would survive to the final table",
             )
-        return self.diagnostics
 
     def _dispatch(self, step_obj, index: int) -> None:
         if isinstance(step_obj, FilterStep):

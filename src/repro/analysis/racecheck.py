@@ -86,6 +86,14 @@ ALLOWLIST: Dict[str, str] = {
         "(same key -> same id within a process) and ids never cross the "
         "process boundary"
     ),
+    "repro.query.physical.kernels.clear_pair_ids": (
+        "process-local interning reset: the epoch bump that accompanies "
+        "every clear makes stale ids unreachable (CenterCache keys embed "
+        "the epoch), each mutation is GIL-atomic, and worker-side callers "
+        "only reach it through the capped intern overflow — worker "
+        "CenterCaches are per-morsel and never observe a generation "
+        "change, so the rebuild hook fires in the coordinator only"
+    ),
 }
 
 

@@ -292,7 +292,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
             ),
         )
         optimizers = (
-            ("dp", "dps") if args.optimizer == "all" else (args.optimizer,)
+            ("dp", "dps", "wcoj") if args.optimizer == "all" else (args.optimizer,)
         )
         for text in args.patterns or ():
             for optimizer in optimizers:
@@ -377,8 +377,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_query = sub.add_parser("query", help="match a pattern against a database")
     p_query.add_argument("database")
     p_query.add_argument("pattern", help='e.g. "A -> B, B -> C" or "x:A -> y:B"')
-    p_query.add_argument("--optimizer", choices=("dp", "dps", "greedy"),
-                         default="dps")
+    p_query.add_argument("--optimizer",
+                         choices=("dp", "dps", "greedy", "wcoj", "auto"),
+                         default="auto",
+                         help="plan family: left-deep dp/dps/greedy, "
+                              "multiway wcoj, or auto (cyclic join graph "
+                              "-> wcoj, else dps; default)")
     p_query.add_argument("--explain", action="store_true",
                          help="print the plan instead of executing")
     p_query.add_argument("--limit", type=int, default=None,
@@ -444,7 +448,8 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="PATTERN",
                          help="also plancheck the optimizers' plans for this "
                               "pattern (repeatable)")
-    p_check.add_argument("--optimizer", choices=("dp", "dps", "greedy", "all"),
+    p_check.add_argument("--optimizer",
+                         choices=("dp", "dps", "greedy", "wcoj", "all"),
                          default="all",
                          help="which optimizer(s) to plancheck (default: dp+dps)")
     p_check.add_argument("--self", dest="self_lint", action="store_true",

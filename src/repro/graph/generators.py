@@ -165,6 +165,59 @@ def anti_correlated_star(
     return graph
 
 
+def diamond_blowup(
+    n_anchor: int = 300,
+    branch_fanout: int = 40,
+    closers: int = 2,
+    seed: Optional[int] = None,
+) -> DiGraph:
+    """Per-anchor diamond instances whose left-deep joins must blow up.
+
+    For each anchor ``a`` (label ``A``) the generator emits one ``b``
+    (``B``, via ``a -> b``), one sink ``d`` (``D``, via ``b -> d``) and a
+    private pool of ``C`` nodes: ``branch_fanout`` reached from ``a``,
+    ``branch_fanout`` reaching ``d``, with only ``closers`` nodes in both
+    sets (these also get a ``b -> c`` edge so triangle patterns stay
+    non-empty).  On the diamond query ``A->B, A->C, B->D, C->D`` every
+    left-deep order must bind ``C`` by expanding one full branch —
+    ``out(a) ∩ C`` or ``in(d) ∩ C``, both of size ``branch_fanout`` — and
+    filter with the remaining condition, materializing
+    ``n_anchor * branch_fanout`` intermediate rows; a multiway intersect
+    binds ``C`` as the ``closers``-sized intersection of the two branches
+    directly.  The ``branch_fanout / closers`` ratio is the knob for how
+    badly binary plans lose.
+
+    Note the triangle is *not* a useful stress shape under R-join
+    semantics: ``A ~> B`` and ``B ~> C`` already imply the closing edge
+    ``A ~> C`` by transitivity of reachability, so its cycle never
+    filters.  The diamond is the smallest cycle whose closing condition
+    is independent of the path conditions.
+    """
+    rng = _rng(seed)
+    graph = DiGraph()
+    for _ in range(n_anchor):
+        a = graph.add_node("A")
+        b = graph.add_node("B")
+        d = graph.add_node("D")
+        graph.add_edge(a, b)
+        graph.add_edge(b, d)
+        shared = [graph.add_node("C") for _ in range(closers)]
+        for c in shared:
+            graph.add_edge(a, c)
+            graph.add_edge(b, c)
+            graph.add_edge(c, d)
+        for _ in range(branch_fanout - closers):
+            c = graph.add_node("C")
+            graph.add_edge(a, c)
+        for _ in range(branch_fanout - closers):
+            c = graph.add_node("C")
+            graph.add_edge(c, d)
+    # a dash of label noise so the catalog's extents are not all equal
+    for _ in range(rng.randint(0, n_anchor // 10)):
+        graph.add_node("E")
+    return graph
+
+
 def figure1_graph() -> DiGraph:
     """The running example of the paper — Figure 1(a).
 

@@ -4,6 +4,8 @@ from .algebra import (
     FetchStep,
     RowLimitExceeded,
     FilterStep,
+    MultiwaySeed,
+    MultiwayStep,
     Plan,
     SeedJoin,
     SeedScan,
@@ -13,6 +15,7 @@ from .algebra import (
 )
 from .costmodel import CostModel, CostParams
 from .engine import GraphEngine
+from .join_graph import JoinGraph
 from .physical import (
     BACKENDS,
     DEFAULT_BATCH_SIZE,
@@ -33,6 +36,7 @@ from .physical import (
 )
 from .optimizer_dp import OptimizedPlan, optimize_dp, optimize_greedy
 from .optimizer_dps import optimize_dps
+from .optimizer_wcoj import optimize_auto, optimize_wcoj
 from .parser import parse_pattern
 from .pattern import Condition, GraphPattern, PatternError
 
@@ -40,6 +44,9 @@ __all__ = [
     "FetchStep",
     "RowLimitExceeded",
     "FilterStep",
+    "JoinGraph",
+    "MultiwaySeed",
+    "MultiwayStep",
     "Plan",
     "SeedJoin",
     "SeedScan",
@@ -66,9 +73,11 @@ __all__ = [
     "execute_plan_streaming",
     "fork_available",
     "OptimizedPlan",
+    "optimize_auto",
     "optimize_dp",
     "optimize_dps",
     "optimize_greedy",
+    "optimize_wcoj",
     "parse_pattern",
     "Condition",
     "GraphPattern",

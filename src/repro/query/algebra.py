@@ -13,6 +13,15 @@ later step is one of
 * ``SelectionStep`` — a *self R-join* (Eq. 5): both variables already in
   the temporal table, evaluated as a selection on graph codes.
 
+A second plan family covers *cyclic* join graphs, where every left-deep
+tree of binary R-joins can materialize intermediates asymptotically
+larger than the output: a **multiway plan** is a variable elimination
+order — one ``MultiwaySeed`` followed by one ``MultiwayStep`` per
+remaining variable — executed generic-join style (each step intersects
+the extension sets of *all* conditions touching its variable, see
+:mod:`repro.query.physical.multiway`).  The two families never mix
+within one plan.
+
 The executor (:mod:`repro.query.executor`) interprets these steps against
 a :class:`~repro.db.database.GraphDatabase`.
 """
@@ -122,7 +131,70 @@ class SelectionStep:
     condition: Condition
 
 
-PlanStep = SeedScan | SeedJoin | FilterStep | FetchStep | SelectionStep
+@dataclass(frozen=True)
+class MultiwaySeed:
+    """Seed a multiway (generic-join) plan: bind the first variable of an
+    elimination order.
+
+    ``constraints`` lists the conditions incident to *var*, keyed so that
+    ``side.fetched_var(condition) == var``; the operator binds *var* to
+    the intersection of the per-condition W-projections (every value a
+    final match could take must appear in each projection).  The seed
+    *prunes* with these conditions but does not *evaluate* any of them —
+    each condition is enforced exactly once, at the
+    :class:`MultiwayStep` that eliminates its later endpoint.
+    """
+
+    var: str
+    constraints: Tuple[FilterKey, ...] = ()
+
+    def __post_init__(self) -> None:
+        for condition, side in self.constraints:
+            if side.fetched_var(condition) != self.var:
+                raise PatternError(
+                    f"multiway seed constraint {condition} [{side.value}] "
+                    f"does not bind variable {self.var!r}"
+                )
+
+
+@dataclass(frozen=True)
+class MultiwayStep:
+    """Eliminate one variable by a multiway intersection (generic join).
+
+    Per input row, the new variable's bindings are the intersection over
+    *all* ``constraints`` of the condition's extension set from the bound
+    endpoint — ``∪_{w ∈ out(x) ∩ W(X,Y)} getT(w, Y)`` for ``Side.OUT``
+    (bound source), ``∪_{w ∈ in(y) ∩ W(X,Y)} getF(w, X)`` for ``Side.IN``
+    (bound target).  Every listed condition is thereby fully evaluated;
+    no intermediate R-join result is ever materialized for them.
+    """
+
+    var: str
+    constraints: Tuple[FilterKey, ...]
+
+    def __post_init__(self) -> None:
+        if not self.constraints:
+            raise PatternError(
+                f"multiway step for {self.var!r} has no constraints; the "
+                "elimination order must keep the join graph connected"
+            )
+        for condition, side in self.constraints:
+            if side.fetched_var(condition) != self.var:
+                raise PatternError(
+                    f"multiway constraint {condition} [{side.value}] does "
+                    f"not bind variable {self.var!r}"
+                )
+
+
+PlanStep = (
+    SeedScan
+    | SeedJoin
+    | FilterStep
+    | FetchStep
+    | SelectionStep
+    | MultiwaySeed
+    | MultiwayStep
+)
 
 
 @dataclass
@@ -140,6 +212,10 @@ class Plan:
         bound: set = set()
         pending: set = set()
         done: set = set()
+        if isinstance(first, MultiwaySeed):
+            self._validate_multiway(first, bound, done)
+            self._validate_coverage(bound, pending, done)
+            return
         if isinstance(first, SeedScan):
             bound.add(first.var)
         elif isinstance(first, SeedJoin):
@@ -201,8 +277,44 @@ class Plan:
                 if step.condition in done:
                     raise PatternError(f"condition {step.condition} evaluated twice")
                 done.add(step.condition)
+            elif isinstance(step, (MultiwaySeed, MultiwayStep)):
+                raise PatternError(
+                    f"multiway step {step} in a left-deep plan; multiway "
+                    "plans start with a MultiwaySeed and contain only "
+                    "MultiwayStep after it"
+                )
             else:
                 raise PatternError(f"seed step {step} must come first")
+        self._validate_coverage(bound, pending, done)
+
+    def _validate_multiway(self, first: "MultiwaySeed", bound: set, done: set) -> None:
+        """Binding simulation for a generic-join plan (elimination order)."""
+        bound.add(first.var)
+        for step in self.steps[1:]:
+            if not isinstance(step, MultiwayStep):
+                raise PatternError(
+                    f"step {step} in a multiway plan; after a MultiwaySeed "
+                    "every step must be a MultiwayStep"
+                )
+            if step.var in bound:
+                raise PatternError(
+                    f"multiway step re-binds variable {step.var!r}"
+                )
+            for condition, side in step.constraints:
+                if side.scanned_var(condition) not in bound:
+                    raise PatternError(
+                        f"multiway constraint {condition} [{side.value}] "
+                        f"scans unbound variable "
+                        f"{side.scanned_var(condition)!r}"
+                    )
+                if condition in done:
+                    raise PatternError(
+                        f"condition {condition} evaluated twice"
+                    )
+                done.add(condition)
+            bound.add(step.var)
+
+    def _validate_coverage(self, bound: set, pending: set, done: set) -> None:
         missing = set(self.pattern.conditions) - done
         if missing:
             raise PatternError(f"plan never evaluates conditions {sorted(missing)}")
@@ -232,6 +344,16 @@ class Plan:
             elif isinstance(step, SelectionStep):
                 src, dst = step.condition
                 lines.append(f"SELECT    {src} -> {dst}")
+            elif isinstance(step, MultiwaySeed):
+                conds = ", ".join(
+                    f"{c[0]}->{c[1]}[{s.value}]" for c, s in step.constraints
+                )
+                lines.append(f"MSEED     {step.var}: {conds or '(full extent)'}")
+            elif isinstance(step, MultiwayStep):
+                conds = ", ".join(
+                    f"{c[0]}->{c[1]}[{s.value}]" for c, s in step.constraints
+                )
+                lines.append(f"MJOIN     {step.var}: {conds}")
         return "\n".join(lines)
 
 

@@ -32,8 +32,10 @@ relative ordering, which these formulas give both DP and DPS.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..db.catalog import Catalog
+from .algebra import FilterKey, Side
 from .pattern import Condition, GraphPattern
 
 
@@ -139,3 +141,84 @@ class CostModel:
     def materialize_cost(self, rows: float) -> float:
         """Writing a temporal table back out, page by page."""
         return self.scan_cost(rows)
+
+    # ------------------------------------------------------------------
+    # multiway (generic-join) estimates — the WCOJ plan family
+    # ------------------------------------------------------------------
+    def projection_selectivity(self, condition: Condition, var_is_source: bool) -> float:
+        """Fraction of a variable's extent inside one condition's
+        W-projection (the multiway seed's per-condition domain)."""
+        x_label, y_label = self._labels(condition)
+        if var_is_source:
+            return self.catalog.semijoin_survival(x_label, y_label)
+        size = self.catalog.extent_size(y_label)
+        if size == 0:
+            return 0.0
+        return min(1.0, self.catalog.join_size(x_label, y_label) / size)
+
+    def multiway_domain_size(
+        self, var: str, constraints: Sequence[FilterKey]
+    ) -> float:
+        """Estimated seed-domain size: extent × per-condition projection
+        selectivities, treated as independent (the usual AGM-style
+        independence coarseness — consistent relative ordering is what
+        the enumerator needs, not absolute accuracy)."""
+        size = float(self.extent_size(var))
+        for condition, side in constraints:
+            # the seed variable is the condition's *fetched* endpoint:
+            # Side.IN keys it as the source, Side.OUT as the target
+            size *= self.projection_selectivity(condition, side is Side.IN)
+        return size
+
+    def multiway_seed_cost(
+        self, var: str, constraints: Sequence[FilterKey], domain_rows: float
+    ) -> float:
+        """MultiwaySeed: per condition one W-sweep expanding every
+        center's subcluster (IO_B to land on W, IO_rji per projected
+        node), then materialize the intersected domain."""
+        cost = 0.0
+        for condition, _side in constraints:
+            cost += self.params.io_btree
+            cost += self.params.io_index_node * max(self.base_join_size(condition), 1.0)
+        if not constraints:
+            cost = self.scan_cost(float(self.extent_size(var)))
+        return cost + self.materialize_cost(domain_rows)
+
+    def multiway_step_rows(
+        self, rows: float, constraints: Sequence[FilterKey]
+    ) -> float:
+        """Output estimate for one variable elimination: the *smallest*
+        per-condition fanout bounds the intersection, and every other
+        condition further thins it like a selection (Eq. 10)."""
+        if not constraints:
+            return rows
+        fanouts = [
+            self.join_fanout(condition, side is Side.OUT)
+            for condition, side in constraints
+        ]
+        tightest = min(range(len(fanouts)), key=fanouts.__getitem__)
+        out = rows * fanouts[tightest]
+        for index, (condition, _side) in enumerate(constraints):
+            if index != tightest:
+                out *= self.selection_selectivity(condition)
+        return out
+
+    def multiway_step_cost(
+        self, rows: float, constraints: Sequence[FilterKey], rows_out: float
+    ) -> float:
+        """MultiwayIntersectOp: scan the input, per row and condition one
+        code retrieval (getCenters, W-probe amortized like Filter) plus
+        IO_rji per extension-set node examined before intersection."""
+        k = max(1, len(constraints))
+        code = self.params.io_btree + self.params.io_page
+        probe = 0.25 * self.params.io_btree
+        per_row = k * (code * self.params.cached_code_discount + probe)
+        expanded = 0.0
+        for condition, side in constraints:
+            expanded += rows * self.join_fanout(condition, side is Side.OUT)
+        return (
+            self.scan_cost(rows)
+            + rows * per_row
+            + self.params.io_index_node * max(expanded, 1.0)
+            + self.materialize_cost(rows_out)
+        )

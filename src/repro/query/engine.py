@@ -9,11 +9,15 @@ Typical use::
     for row in result.rows:
         print(dict(zip(result.columns, row)))
 
-``optimizer`` selects the paper's two approaches (and a greedy control):
+``optimizer`` selects the paper's two approaches (and two extensions):
 
 * ``"dps"`` (default) — DP interleaving R-joins with R-semijoins (§4.2);
 * ``"dp"`` — R-join-only dynamic programming (§4.1);
-* ``"greedy"`` — locally cheapest move, as a non-paper control.
+* ``"greedy"`` — locally cheapest move, as a non-paper control;
+* ``"wcoj"`` — worst-case-optimal multiway plan for cyclic join graphs
+  (variable elimination + k-way intersection); acyclic patterns fall
+  back to DPS unchanged;
+* ``"auto"`` — route on join-graph shape: cyclic → wcoj, else dps.
 """
 
 from __future__ import annotations
@@ -36,6 +40,7 @@ from .physical.drivers import (
 from .physical.parallel import WorkerPool
 from .optimizer_dp import OptimizedPlan, optimize_dp, optimize_greedy
 from .optimizer_dps import optimize_dps
+from .optimizer_wcoj import optimize_auto, optimize_wcoj
 from .parser import parse_pattern
 from .pattern import GraphPattern
 
@@ -43,6 +48,8 @@ _OPTIMIZERS = {
     "dp": optimize_dp,
     "dps": optimize_dps,
     "greedy": optimize_greedy,
+    "wcoj": optimize_wcoj,
+    "auto": optimize_auto,
 }
 
 PatternLike = Union[str, GraphPattern]

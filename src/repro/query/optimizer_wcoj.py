@@ -1,0 +1,128 @@
+"""WCOJ — variable-elimination-order selection over the join graph.
+
+Left-deep plans (DP/DPS, Section 4) eliminate one *condition* per move
+and must materialize every binary R-join's intermediate; on cyclic join
+graphs those intermediates can be asymptotically larger than the final
+output.  This optimizer produces the generic-join alternative: a
+:class:`~repro.query.algebra.MultiwaySeed` binding one variable from the
+intersection of its conditions' W-projections, followed by one
+:class:`~repro.query.algebra.MultiwayStep` per remaining variable, each
+intersecting the extension sets of *every* condition between the new
+variable and the already-bound ones.
+
+Plan enumeration is a connected-subgraph DP over the join graph: a state
+is the frozenset of bound variables, a move binds one adjacent variable,
+and among orders reaching the same state the cheapest is kept — the
+bushy-enumeration analogue for the variable-at-a-time plan space, bounded
+by ``O(2^n)`` states for ``n`` variables (patterns here are small).  Cost
+and cardinality use the existing :class:`~repro.query.costmodel.CostModel`
+plus its multiway rules (``multiway_domain_size`` / ``multiway_step_rows``
+/ ``multiway_step_cost``).
+
+Routing lives in :func:`optimize_auto`: acyclic join graphs go to the
+paper's DPS optimizer *unchanged* (identical plans, rows and counters to
+today — the differential suites pin this); cyclic ones get the multiway
+plan.  :func:`optimize_wcoj` itself also falls back to DPS on acyclic
+patterns, since a multiway plan on a tree degenerates into a strictly
+worse Filter/Fetch with no sharing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from .algebra import MultiwaySeed, MultiwayStep, Plan, PlanStep
+from .costmodel import CostModel
+from .join_graph import JoinGraph
+from .optimizer_dp import OptimizedPlan
+from .optimizer_dps import optimize_dps
+from .pattern import GraphPattern
+
+
+def _enumerate_orders(
+    graph: JoinGraph, model: CostModel
+) -> Tuple[float, float, Tuple[str, ...]]:
+    """Connected-subgraph DP: cheapest variable elimination order.
+
+    ``best[bound] = (cost, rows, order)`` — *bound* is the frozenset of
+    eliminated variables, *rows* the estimated intermediate after the
+    last elimination.  Moves extend *bound* by one adjacent variable
+    (connectivity keeps every step constrained, which a connected
+    pattern guarantees is always possible).
+    """
+    variables = graph.variables
+    best: Dict[FrozenSet[str], Tuple[float, float, Tuple[str, ...]]] = {}
+    for var in variables:
+        constraints = graph.incident_constraints(var)
+        rows = model.multiway_domain_size(var, constraints)
+        cost = model.multiway_seed_cost(var, constraints, rows)
+        best[frozenset([var])] = (cost, rows, (var,))
+
+    frontier = sorted(best, key=sorted)
+    index = 0
+    while index < len(frontier):
+        state = frontier[index]
+        index += 1
+        cost, rows, order = best[state]
+        if best[state][0] < cost:  # superseded entry
+            continue
+        for var in variables:
+            if var in state:
+                continue
+            constraints = graph.constraints_toward(var, state)
+            if not constraints:
+                continue  # stay connected: every step must intersect
+            new_rows = model.multiway_step_rows(rows, constraints)
+            step_cost = model.multiway_step_cost(rows, constraints, new_rows)
+            new_state = state | {var}
+            candidate = (cost + step_cost, new_rows, order + (var,))
+            if new_state not in best or candidate[0] < best[new_state][0]:
+                previously_known = new_state in best
+                best[new_state] = candidate
+                if not previously_known:
+                    frontier.append(new_state)
+
+    final = best.get(frozenset(variables))
+    if final is None:  # pragma: no cover - connected patterns always complete
+        raise RuntimeError("WCOJ enumeration failed to cover all variables")
+    return final
+
+
+def _build_plan(
+    pattern: GraphPattern, graph: JoinGraph, order: Tuple[str, ...]
+) -> Plan:
+    """Materialize one elimination order as MultiwaySeed + MultiwaySteps."""
+    steps: List[PlanStep] = [
+        MultiwaySeed(order[0], graph.incident_constraints(order[0]))
+    ]
+    bound = [order[0]]
+    for var in order[1:]:
+        steps.append(MultiwayStep(var, graph.constraints_toward(var, bound)))
+        bound.append(var)
+    plan = Plan(pattern, steps)
+    plan.validate()
+    return plan
+
+
+def optimize_wcoj(pattern: GraphPattern, model: CostModel) -> OptimizedPlan:
+    """Cheapest multiway (generic-join) plan for a cyclic pattern.
+
+    Acyclic patterns (including the single-variable degenerate) fall back
+    to the paper's DPS optimizer — on a tree every multiway step has
+    exactly one constraint and the plan collapses into an unshared
+    Filter+Fetch chain, which the left-deep optimizers already order
+    better.
+    """
+    graph = JoinGraph(pattern)
+    if not graph.is_cyclic:
+        return optimize_dps(pattern, model)
+    cost, rows, order = _enumerate_orders(graph, model)
+    return OptimizedPlan(_build_plan(pattern, graph, order), cost, rows)
+
+
+def optimize_auto(pattern: GraphPattern, model: CostModel) -> OptimizedPlan:
+    """Route on join-graph shape: cyclic → WCOJ, acyclic → DPS unchanged."""
+    return optimize_wcoj(pattern, model)
+
+
+__all__ = ["optimize_auto", "optimize_wcoj"]

@@ -47,6 +47,7 @@ from .operators import (
     SharedFilterOp,
     build_pipeline,
 )
+from .multiway import MultiwayIntersectOp, MultiwaySeedOp
 
 __all__ = [
     "BACKENDS",
@@ -69,6 +70,8 @@ __all__ = [
     "execute_plan",
     "execute_plan_streaming",
     "FetchOp",
+    "MultiwayIntersectOp",
+    "MultiwaySeedOp",
     "PhysicalOperator",
     "ProjectOp",
     "SeedJoinOp",

@@ -29,6 +29,7 @@ from collections import OrderedDict
 from typing import TYPE_CHECKING, Optional, Tuple
 
 from ..algebra import Side
+from . import kernels
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
     from ...db.database import GraphDatabase
@@ -61,6 +62,7 @@ class CenterCache:
         self.evictions = 0
         self._bytes = 0
         self._generation: Optional[int] = None
+        self._pair_epoch: Optional[int] = None
         self._store: "OrderedDict[tuple, Tuple[int, ...]]" = OrderedDict()
         # sanitize mode: when bound to a database, every read asserts
         # generation freshness (see repro.analysis.sanitizer)
@@ -70,11 +72,32 @@ class CenterCache:
     # lifecycle
     # ------------------------------------------------------------------
     def sync(self, generation: int) -> None:
-        """Bind the cache to an index generation, invalidating on change."""
+        """Bind the cache to an index generation, invalidating on change.
+
+        This is also where the bounded label-pair interning table is
+        kept honest: observing an index *rebuild* (a generation change)
+        clears the process-wide pair-id table
+        (:func:`~repro.query.physical.kernels.clear_pair_ids` — the
+        ``rebuild_join_index`` hook, routed through the cache layer so
+        the db layer never imports physical internals), and any cache
+        whose centers entries were keyed under an older *pair epoch*
+        drops them — an id minted before the epoch bump may since have
+        been reassigned to a different label pair, even in an engine
+        whose own index generation never moved.
+        """
         if self._generation != generation:
-            if self._generation is not None and self._store:
-                self.invalidate()
+            if self._generation is not None:
+                if self._store:
+                    self.invalidate()
+                # the hook: an index rebuild happened somewhere in this
+                # process — recycle the interning table's ids
+                kernels.clear_pair_ids()
             self._generation = generation
+        epoch = kernels.pair_epoch()
+        if self._pair_epoch != epoch:
+            if self._pair_epoch is not None and self._store:
+                self.invalidate()
+            self._pair_epoch = epoch
 
     def bind_sanitizer(self, db: "GraphDatabase") -> None:
         """Arm the per-read freshness tripwire against *db*.
@@ -113,12 +136,16 @@ class CenterCache:
         """Cached ``getCenters`` result for ``(node, X, Y)``, or None."""
         if self._sanitize_db is not None:
             self._assert_fresh()
-        return self._get((_CENTERS_TAG, node, pair_id, side is Side.OUT))
+        # the epoch in the key makes entries from a recycled interning
+        # table unreachable even before the next sync() sheds them
+        key = (_CENTERS_TAG, node, pair_id, side is Side.OUT, kernels.pair_epoch())
+        return self._get(key)
 
     def put_centers(
         self, node: int, pair_id: int, side: Side, centers: Tuple[int, ...]
     ) -> None:
-        self._put((_CENTERS_TAG, node, pair_id, side is Side.OUT), centers)
+        key = (_CENTERS_TAG, node, pair_id, side is Side.OUT, kernels.pair_epoch())
+        self._put(key, centers)
 
     def get_subcluster(
         self, center: int, label: str, side: Side

@@ -180,22 +180,105 @@ def gather_union(
     return tuple(partners), total
 
 
+def union_sorted(
+    partner_lists: Sequence[Sequence[int]],
+) -> Tuple["array[int]", int]:
+    """Sorted deduplicated union of sorted int sequences, plus raw volume.
+
+    The multiway (generic-join) extension set: the union over a
+    variable's centers of their labeled subclusters, returned *sorted*
+    so it can feed :func:`intersect`/:func:`intersect_many` directly.
+    ``total`` is the pre-dedup node count — the quantity charged into
+    ``nodes_fetched`` (the same accounting as :func:`gather_union`).
+    Inputs may be tuples, arrays or zero-copy snapshot views; the output
+    is always a fresh array.
+    """
+    if not partner_lists:
+        return array(ARRAY_TYPECODE), 0
+    if len(partner_lists) == 1:
+        only = partner_lists[0]
+        # single center: subclusters are stored deduplicated and sorted
+        return array(ARRAY_TYPECODE, only), len(only)
+    merged: set = set()
+    total = 0
+    for nodes in partner_lists:
+        total += len(nodes)
+        merged.update(nodes)
+    return array(ARRAY_TYPECODE, sorted(merged)), total
+
+
+def intersect_many(sets: Sequence[Sequence[int]]) -> "array[int]":
+    """Intersection of several sorted int sequences (the leapfrog core).
+
+    Folds :func:`intersect` smallest-first — the running result can only
+    shrink, so starting from the smallest input bounds every pairwise
+    step — with an early exit the moment it empties.  One input returns
+    a fresh copy; zero inputs an empty array.
+    """
+    if not sets:
+        return array(ARRAY_TYPECODE)
+    ordered = sorted(sets, key=len)
+    result = array(ARRAY_TYPECODE, ordered[0])
+    for other in ordered[1:]:
+        if not result:
+            return result
+        result = intersect(result, other)
+    return result
+
+
 # ----------------------------------------------------------------------
 # label-pair interning
 # ----------------------------------------------------------------------
 _PAIR_IDS: Dict[Tuple[str, str], int] = {}
+_PAIR_EPOCH = 0
+
+#: interning capacity: reaching it clears the table and starts a new
+#: epoch, so a long-lived process serving many label vocabularies cannot
+#: grow the table without bound
+PAIR_INTERN_LIMIT = 4096
+
+
+def pair_epoch() -> int:
+    """The current interning epoch; bumps whenever ids are recycled.
+
+    Anything that stores pair ids in keys (the
+    :class:`~repro.query.physical.cache.CenterCache`) must remember the
+    epoch its keys were minted under and drop them when it changes — an
+    id minted in an older epoch may since have been reassigned to a
+    different label pair.
+    """
+    return _PAIR_EPOCH
+
+
+def clear_pair_ids() -> None:
+    """Drop every interned pair and start a new epoch.
+
+    Called when the table hits ``PAIR_INTERN_LIMIT``, and by
+    :meth:`CenterCache.sync <repro.query.physical.cache.CenterCache.sync>`
+    when it observes an index rebuild (the ``rebuild_join_index``
+    generation bump) — the natural point to shed pairs from retired
+    vocabularies, routed through the cache layer so the db layer never
+    imports physical internals.
+    """
+    global _PAIR_EPOCH
+    _PAIR_IDS.clear()
+    _PAIR_EPOCH += 1
 
 
 def intern_label_pair(x_label: str, y_label: str) -> int:
-    """Stable process-wide small-int id for an ``(X, Y)`` label pair.
+    """Small-int id for an ``(X, Y)`` label pair, stable within an epoch.
 
     Cache keys built from these ids compare by a single int instead of
-    two strings; ids are only ever assigned, never recycled, so a pair's
-    id is stable for the life of the process.
+    two strings.  Ids are stable while the epoch lasts; when the table
+    reaches ``PAIR_INTERN_LIMIT`` it is cleared and the epoch bumped
+    (see :func:`pair_epoch`), so the table is bounded for the life of
+    the process.
     """
     pair = (x_label, y_label)
     pair_id = _PAIR_IDS.get(pair)
     if pair_id is None:
+        if len(_PAIR_IDS) >= PAIR_INTERN_LIMIT:
+            clear_pair_ids()
         pair_id = _PAIR_IDS[pair] = len(_PAIR_IDS)
     return pair_id
 
@@ -219,12 +302,17 @@ def iter_blocks(
 __all__ = [
     "ARRAY_TYPECODE",
     "GALLOP_RATIO",
+    "PAIR_INTERN_LIMIT",
     "as_sorted_array",
     "batch_get_centers",
+    "clear_pair_ids",
     "gather_union",
     "intern_label_pair",
     "intersect",
     "intersect_gallop",
+    "intersect_many",
     "intersect_merge",
     "iter_blocks",
+    "pair_epoch",
+    "union_sorted",
 ]

@@ -53,6 +53,8 @@ from ..algebra import (
     FetchStep,
     FilterKey,
     FilterStep,
+    MultiwaySeed,
+    MultiwayStep,
     Plan,
     RowLimitExceeded,
     SeedJoin,
@@ -628,6 +630,10 @@ def build_pipeline(
     the :class:`ProjectOp` is returned separately because it is driver
     plumbing, not a costed plan step.
     """
+    # imported here: the multiway module subclasses PhysicalOperator,
+    # so the dependency must point from it to this module, not back
+    from .multiway import MultiwayIntersectOp, MultiwaySeedOp
+
     operators: List[PhysicalOperator] = []
     layout: Optional[RowLayout] = None
     for step in plan.steps:
@@ -636,12 +642,16 @@ def build_pipeline(
             op = SeedScanOp(ctx, step.var)
         elif isinstance(step, SeedJoin):
             op = SeedJoinOp(ctx, step.condition)
+        elif isinstance(step, MultiwaySeed):
+            op = MultiwaySeedOp(ctx, step.var, step.constraints)
         elif isinstance(step, FilterStep):
             op = SharedFilterOp(ctx, layout, step.keys)
         elif isinstance(step, FetchStep):
             op = FetchOp(ctx, layout, step.condition, step.side)
         elif isinstance(step, SelectionStep):
             op = SelectionOp(ctx, layout, step.condition)
+        elif isinstance(step, MultiwayStep):
+            op = MultiwayIntersectOp(ctx, layout, step.var, step.constraints)
         else:  # pragma: no cover - Plan.validate rejects unknown steps
             raise TypeError(f"unknown plan step {step!r}")
         operators.append(op)

@@ -76,6 +76,7 @@ from ...storage.stats import IOStats
 from ..algebra import Plan, RowLimitExceeded
 from .cache import CenterCache
 from .context import DEFAULT_MORSEL_SIZE, ExecutionContext
+from .multiway import MultiwaySeedOp
 from .operators import (
     PhysicalOperator,
     ProjectOp,
@@ -476,9 +477,12 @@ class ParallelExecution:
         self, index: int, op: PhysicalOperator, rows: Optional[List[Row]]
     ) -> Iterator[Row]:
         """Run one stage: partition, dispatch, merge in morsel order."""
-        if isinstance(op, SeedScanOp):
-            # a straight extent scan: partitioning it would only move the
-            # page reads around, run it inline
+        if isinstance(op, (SeedScanOp, MultiwaySeedOp)):
+            # a straight extent scan (or the multiway seed's projection
+            # intersection, whose cost is a handful of W-sweeps, not
+            # per-row work): partitioning would only move the page reads
+            # around, run it inline — the *output* domain is what the
+            # downstream multiway stages get partitioned over
             self.stats.inline_stages += 1
             yield from op.rows(None)
             return

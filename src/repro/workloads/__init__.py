@@ -1,6 +1,6 @@
 """Benchmark workloads: Figure 4 pattern shapes and the experiment runner."""
 
-from .patterns import PatternFactory
+from .patterns import CYCLIC_SHAPES, PatternFactory
 from .runner import (
     ExperimentRecord,
     band_validator,
@@ -13,6 +13,7 @@ from .runner import (
 )
 
 __all__ = [
+    "CYCLIC_SHAPES",
     "PatternFactory",
     "ExperimentRecord",
     "band_validator",

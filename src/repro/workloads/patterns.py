@@ -47,6 +47,25 @@ DOUBLE_5: Shape = ((0, 1), (0, 2), (1, 3), (2, 3), (1, 4), (2, 4))
 GRAPH_SHAPES_4: Tuple[Shape, ...] = (DIAMOND_4, FAN_IN_4, CROSS_4, DIAMOND_4, FAN_IN_4)
 GRAPH_SHAPES_5: Tuple[Shape, ...] = (DIAMOND_5, FAN_IN_5, DOUBLE_5, DIAMOND_5, FAN_IN_5)
 
+# --- cyclic shapes (join graph has cycle rank > 0) -----------------------
+# These are the worst-case-optimal workload: left-deep plans must
+# materialize a binary join before the closing condition prunes it, while
+# the multiway path intersects all constraints per variable.  (DIAMOND_4,
+# CROSS_4 and DOUBLE_5 above are cyclic too and ride along in
+# ``cyclic_patterns``.)
+TRIANGLE: Shape = ((0, 1), (0, 2), (1, 2))
+CLIQUE_4: Shape = ((0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3))
+TRIANGLE_TAIL: Shape = ((0, 1), (0, 2), (1, 2), (2, 3))  # cycle-with-tail
+
+CYCLIC_SHAPES: Dict[str, Shape] = {
+    "triangle": TRIANGLE,
+    "diamond": DIAMOND_4,
+    "clique4": CLIQUE_4,
+    "cycle-tail": TRIANGLE_TAIL,
+    "cross": CROSS_4,
+    "double-diamond": DOUBLE_5,
+}
+
 
 class PatternFactory:
     """Assigns satisfiable-by-estimate labels to Figure 4 shapes."""
@@ -265,3 +284,30 @@ class PatternFactory:
             "fig4d-tree": self.instantiate(TREE_3),
             "fig4i-graph": self.instantiate(FAN_IN_5),
         }
+
+    def cyclic_patterns(
+        self, shapes: Optional[Sequence[str]] = None
+    ) -> Dict[str, GraphPattern]:
+        """The cyclic workload: triangle, diamond, 4-clique, cycle-with-tail.
+
+        Label assignment reuses the same rejection sampling as the
+        Figure 4 workloads, so the factory's knobs (``seed``,
+        ``max_edge_estimate``/``max_result_estimate`` caps,
+        ``min_selective_edges``, the execution ``validator``) tune label
+        choice and selectivity here exactly as there.  *shapes* selects a
+        subset of :data:`CYCLIC_SHAPES` by name (default: all of them —
+        the four canonical cyclic cores plus the cyclic Figure 4 graph
+        shapes ``cross`` and ``double-diamond``).
+        """
+        selected = shapes if shapes is not None else tuple(CYCLIC_SHAPES)
+        patterns: Dict[str, GraphPattern] = {}
+        for name in selected:
+            try:
+                shape = CYCLIC_SHAPES[name]
+            except KeyError:
+                raise ValueError(
+                    f"unknown cyclic shape {name!r}; "
+                    f"choose from {sorted(CYCLIC_SHAPES)}"
+                ) from None
+            patterns[name] = self.instantiate(shape)
+        return patterns

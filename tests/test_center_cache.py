@@ -13,6 +13,7 @@ import pytest
 from repro import GraphEngine
 from repro.graph.generators import figure1_graph
 from repro.query.algebra import Side
+from repro.query.physical import kernels
 from repro.query.physical.cache import (
     _ENTRY_OVERHEAD_BYTES,
     _INT_BYTES,
@@ -121,6 +122,52 @@ class TestInvalidation:
         second = engine.match(pattern, batch_size=16)
         assert second.rows == first.rows
         assert second.metrics.center_cache.hits == 0
+
+
+class TestPairEpoch:
+    """Centers keys embed the interning epoch (bounded-table regression).
+
+    ``intern_label_pair`` recycles pair ids when its table hits
+    ``PAIR_INTERN_LIMIT`` or when an index rebuild clears it; a cache
+    entry keyed under an older epoch must become unreachable rather than
+    serve centers for whatever pair the id now names.
+    """
+
+    def test_epoch_bump_orphans_centers_entries(self):
+        cache = CenterCache()
+        pair_id = kernels.intern_label_pair("epoch-a", "epoch-b")
+        cache.put_centers(1, pair_id, Side.OUT, (4, 5))
+        assert cache.get_centers(1, pair_id, Side.OUT) == (4, 5)
+        kernels.clear_pair_ids()
+        # same numeric id, new epoch: the old entry must not answer
+        assert cache.get_centers(1, pair_id, Side.OUT) is None
+
+    def test_sync_drops_entries_minted_under_old_epoch(self):
+        cache = CenterCache()
+        cache.sync(0)
+        cache.put_centers(1, 0, Side.OUT, (4,))
+        kernels.clear_pair_ids()
+        cache.sync(0)  # same generation, new epoch
+        assert cache.entry_count == 0
+
+    def test_subcluster_entries_survive_epoch_bump(self):
+        # subcluster keys are (node, label, side) — no pair ids, so an
+        # epoch bump must not orphan them
+        cache = CenterCache()
+        cache.put_subcluster(1, "A", Side.OUT, (9,))
+        kernels.clear_pair_ids()
+        assert cache.get_subcluster(1, "A", Side.OUT) == (9,)
+
+    def test_rebuild_join_index_recycles_pair_ids(self):
+        engine = GraphEngine(figure1_graph())
+        engine.match("A -> C, B -> C", batch_size=16)  # warm + sync
+        epoch = kernels.pair_epoch()
+        engine.db.rebuild_join_index()
+        # the next run's sync observes the generation bump and fires the
+        # clear_pair_ids hook (routed through the cache layer)
+        result = engine.match("A -> C, B -> C", batch_size=16)
+        assert kernels.pair_epoch() == epoch + 1
+        assert result.metrics.center_cache.hits == 0
 
 
 class TestRunMetricsSurface:
