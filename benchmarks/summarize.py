@@ -18,10 +18,12 @@ writes (``benchmarks/results/``):
 compares two BENCH files entry by entry (matched on query, optimizer and
 variant) and flags every regression above 15% in any gated metric —
 ``wall_ms``, ``alloc_peak_kib`` (per-query Python-heap peak),
-``cold_wall_ms`` (first-query latency on a freshly opened snapshot) and
+``cold_wall_ms`` (first-query latency on a freshly opened snapshot),
 ``intermediate_rows`` (summed pre-projection operator output, the
-wcoj-vs-left-deep plan-quality signal) — exiting non-zero if one is
-found: the CI regression gate.
+wcoj-vs-left-deep plan-quality signal), the service-load latency
+percentiles ``p50_ms``/``p95_ms``/``p99_ms``, and ``shed_rate``
+(fraction of offered load rejected under overload) — exiting non-zero
+if one is found: the CI regression gate.
 """
 
 from __future__ import annotations
@@ -107,10 +109,19 @@ REGRESSION_THRESHOLD = 0.15
 
 #: the gated lower-is-better metrics; entries carrying any of them are
 #: compared field by field (an entry missing a metric is skipped for it)
-GATED_METRICS = ("wall_ms", "alloc_peak_kib", "cold_wall_ms", "intermediate_rows")
+GATED_METRICS = (
+    "wall_ms",
+    "alloc_peak_kib",
+    "cold_wall_ms",
+    "intermediate_rows",
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
+    "shed_rate",
+)
 
 #: display unit per gated-metric suffix (fallback: ms)
-_METRIC_UNITS = {"kib": "KiB", "rows": " rows"}
+_METRIC_UNITS = {"kib": "KiB", "rows": " rows", "rate": ""}
 
 
 def load_bench_entries(path: str) -> Dict[Any, Dict[str, Any]]:

@@ -16,11 +16,12 @@ encodes them directly and runs as part of ``repro check --self`` and CI:
   ``GraphEngine``, which guarantee plan validation and uniform metrics.
 * ``lint/multiprocessing-outside-parallel`` — direct ``multiprocessing``
   imports (and the ``concurrent.futures`` pool executors) are confined
-  to :mod:`repro.query.physical.parallel` (the morsel scheduler) and the
-  ``labeling`` package (the parallel index build): everything else
-  routes parallel execution through the ``WorkerPool``/``workers=`` API,
-  so pool lifecycle, fork-safety and metric merging stay in one audited
-  place.
+  to :mod:`repro.query.physical.parallel` (the morsel scheduler), the
+  ``labeling`` package (the parallel index build), and
+  :mod:`repro.service.server` (the query service's admission-slot
+  executor): everything else routes parallel execution through the
+  ``WorkerPool``/``workers=`` API, so pool lifecycle, fork-safety and
+  metric merging stay in audited places.
 * ``lint/mmap-outside-snapshot`` — :mod:`mmap` and :mod:`struct` imports
   are confined to :mod:`repro.storage.snapshot`: every binary-layout
   assumption (byte order, alignment, section framing) lives in the one
@@ -74,11 +75,20 @@ def _is_query_module(filename: str) -> bool:
 
 
 def _may_import_multiprocessing(filename: str) -> bool:
-    """Only the morsel scheduler and the labeling package own pools."""
+    """Pool ownership is confined to three audited modules.
+
+    The morsel scheduler and the labeling build own worker pools for
+    query/index parallelism; the query service's server owns exactly one
+    ``ThreadPoolExecutor`` sized to its admission slots (so
+    ``run_in_executor`` can never buffer unbounded work) — its queries
+    still reach engine parallelism through the ``workers=`` API.
+    """
     path = Path(filename)
     parts = path.parts
-    return "labeling" in parts or (
-        path.name == "parallel.py" and "physical" in parts
+    return (
+        "labeling" in parts
+        or (path.name == "parallel.py" and "physical" in parts)
+        or (path.name == "server.py" and "service" in parts)
     )
 
 

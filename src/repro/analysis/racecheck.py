@@ -69,6 +69,11 @@ EXEMPT_MODULE_PREFIXES: Dict[str, str] = {
         "the 2-hop construction pool owns its workers' state; results merge "
         "by return value only"
     ),
+    "repro.service.": (
+        "service state mutates only on the event loop (scheduler) or under "
+        "ServiceStats' lock; query execution in slot threads serializes on "
+        "the per-service engine lock"
+    ),
     "repro.analysis.": (
         "analysis passes never execute inside query workers (they appear "
         "reachable only through dynamic name-matched edges)"

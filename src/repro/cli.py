@@ -10,6 +10,7 @@ Usage (also via ``python -m repro``)::
     repro snapshot save auctions.db.json auctions.snap   # binary snapshot
     repro snapshot load auctions.snap                    # timed reload
     repro snapshot info auctions.snap                    # header + sections
+    repro serve auctions.snap --port 7437                # always-on service
     repro bench --budget 800                             # mini comparison
 
 The CLI wraps the library's public API one-to-one; anything it prints can
@@ -237,6 +238,51 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .query import DEFAULT_CACHE_BYTES
+    from .service import QueryService, ServiceConfig
+
+    engine = GraphEngine.from_database(
+        load_database(args.database),
+        cache_bytes=0 if args.no_center_cache else DEFAULT_CACHE_BYTES,
+        workers=args.workers,
+        parallel_backend=args.parallel_backend,
+        batch_size=args.batch_size,
+    )
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        queue_depth=args.queue_depth,
+        default_timeout_s=(
+            args.default_timeout_ms / 1000.0
+            if args.default_timeout_ms is not None else None
+        ),
+        max_result_rows=args.max_result_rows,
+    )
+    service = QueryService(engine, config)
+
+    async def run() -> None:
+        host, port = await service.start()
+        print(f"serving {args.database} on {host}:{port} "
+              f"(max_inflight={config.max_inflight}, "
+              f"queue_depth={config.queue_depth})", flush=True)
+        try:
+            await service.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        engine.close_pool()
+    return 0
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     from .analysis import (
         audit_database,
@@ -436,6 +482,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_snap_info.add_argument("file")
     p_snap_info.set_defaults(func=_cmd_snapshot)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="always-on query service: share one engine across concurrent "
+             "clients (line-delimited JSON over TCP)",
+    )
+    p_serve.add_argument("database", help="saved database (.json or .snap)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=7437,
+                         help="TCP port (0 = ephemeral; default 7437)")
+    p_serve.add_argument("--max-inflight", type=int, default=2,
+                         help="concurrent query slots (default 2)")
+    p_serve.add_argument("--queue-depth", type=int, default=16,
+                         help="admission queue depth; arrivals beyond it "
+                              "are shed with an 'overloaded' reject "
+                              "(default 16)")
+    p_serve.add_argument("--default-timeout-ms", type=float, default=None,
+                         help="deadline for queries that carry no "
+                              "timeout_ms (default: none)")
+    p_serve.add_argument("--max-result-rows", type=int, default=1_000_000,
+                         help="hard cap on rows returned per query")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="engine default worker count for parallel "
+                              "morsel execution (shared generation-keyed "
+                              "pool; default sequential)")
+    p_serve.add_argument("--parallel-backend",
+                         choices=("process", "thread", "spawn"), default=None)
+    p_serve.add_argument("--batch-size", type=int, default=None,
+                         help="engine default batch size (vectorized "
+                              "substrate; default scalar)")
+    p_serve.add_argument("--no-center-cache", action="store_true",
+                         help="disable the cross-query center/subcluster "
+                              "cache (ablation)")
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_check = sub.add_parser(
         "check",

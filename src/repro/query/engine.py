@@ -22,6 +22,7 @@ Typical use::
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple, Union
 
@@ -53,6 +54,12 @@ _OPTIMIZERS = {
 }
 
 PatternLike = Union[str, GraphPattern]
+
+#: guards lazy creation of per-engine locks: engines built through
+#: ``__new__`` + attribute assignment (``from_database``, older callers)
+#: have no ``__init__``-installed lock, so the first concurrent accessor
+#: must not race the lock's own construction
+_ENGINE_LOCK_GUARD = threading.Lock()
 
 
 class GraphEngine:
@@ -157,6 +164,16 @@ class GraphEngine:
         return cache
 
     # ------------------------------------------------------------------
+    def _pool_guard(self) -> threading.Lock:
+        """The engine's pool-lifecycle lock (created lazily, race-free)."""
+        guard: Optional[threading.Lock] = getattr(self, "_pool_lock", None)
+        if guard is None:
+            with _ENGINE_LOCK_GUARD:
+                guard = getattr(self, "_pool_lock", None)
+                if guard is None:
+                    guard = self._pool_lock = threading.Lock()
+        return guard
+
     def worker_pool(self, workers: int, backend: Optional[str] = None) -> WorkerPool:
         """The engine-owned reusable morsel pool (lazy, one at a time).
 
@@ -165,27 +182,34 @@ class GraphEngine:
         ``db.rebuild_join_index()`` bumped the generation, which makes
         forked index snapshots stale — shuts the old pool down and builds
         a fresh one.  Sequential queries never create a pool.
+
+        The create/invalidate path is serialized on a per-engine lock so
+        concurrent queries sharing one engine (the always-on query
+        service's steady state) can never double-create a pool or leak a
+        half-replaced one; both racers come back holding the same pool.
         """
-        pool: Optional[WorkerPool] = getattr(self, "_worker_pool", None)
-        effective_backend = backend or self.parallel_backend
-        if pool is not None and not (
-            pool.compatible(self.db)
-            and pool.workers == workers
-            and (effective_backend is None or pool.backend == effective_backend)
-        ):
-            pool.shutdown()
-            pool = None
-        if pool is None:
-            pool = WorkerPool(self.db, workers, effective_backend)
-            self._worker_pool = pool
-        return pool
+        with self._pool_guard():
+            pool: Optional[WorkerPool] = getattr(self, "_worker_pool", None)
+            effective_backend = backend or self.parallel_backend
+            if pool is not None and not (
+                pool.compatible(self.db)
+                and pool.workers == workers
+                and (effective_backend is None or pool.backend == effective_backend)
+            ):
+                pool.shutdown()
+                pool = None
+            if pool is None:
+                pool = WorkerPool(self.db, workers, effective_backend)
+                self._worker_pool = pool
+            return pool
 
     def close_pool(self) -> None:
         """Shut the engine-owned worker pool down (idempotent)."""
-        pool: Optional[WorkerPool] = getattr(self, "_worker_pool", None)
-        if pool is not None:
-            pool.shutdown()
-            self._worker_pool = None
+        with self._pool_guard():
+            pool: Optional[WorkerPool] = getattr(self, "_worker_pool", None)
+            if pool is not None:
+                pool.shutdown()
+                self._worker_pool = None
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -194,12 +218,67 @@ class GraphEngine:
             return pattern
         return parse_pattern(pattern)
 
-    #: plans are deterministic per (pattern, optimizer) for a fixed
-    #: catalog, so repeated queries skip the optimizer entirely
+    #: plans are deterministic per (pattern, optimizer, catalog
+    #: generation, execution settings), so repeated queries skip the
+    #: optimizer entirely
     PLAN_CACHE_SIZE = 256
 
-    def plan(self, pattern: PatternLike, optimizer: str = "dps") -> OptimizedPlan:
-        """Optimize a pattern without executing it (memoized, LRU)."""
+    def _plan_guard(self) -> threading.Lock:
+        """The plan-cache mutation lock (created lazily, race-free)."""
+        guard: Optional[threading.Lock] = getattr(self, "_plan_cache_lock", None)
+        if guard is None:
+            with _ENGINE_LOCK_GUARD:
+                guard = getattr(self, "_plan_cache_lock", None)
+                if guard is None:
+                    guard = self._plan_cache_lock = threading.Lock()
+        return guard
+
+    def _execution_settings_key(
+        self,
+        batch_size: Optional[int] = None,
+        workers: Optional[int] = None,
+        parallel_backend: Optional[str] = None,
+    ) -> Tuple[bool, bool, int, Optional[str]]:
+        """Fingerprint of the execution settings a plan will run under.
+
+        Plans are logical today — no current optimizer output depends on
+        the substrate — but the cache key carries this fingerprint anyway
+        so mixed-mode service traffic (scalar and batched, sequential and
+        parallel queries interleaved on one shared engine) can never be
+        served a plan memoized under different execution settings should
+        an optimizer ever specialize for one.  Per-query overrides win
+        over the engine defaults, exactly as they do at execution time.
+        """
+        effective_batch = self.batch_size if batch_size is None else batch_size
+        effective_workers = self.workers if workers is None else workers
+        batched = bool(effective_batch is not None and effective_batch > 1)
+        parallel = bool(effective_workers is not None and effective_workers > 1)
+        return (
+            batched,
+            batched and bool(getattr(self.db, "mmap_views", False)),
+            effective_workers if parallel else 1,
+            (parallel_backend or self.parallel_backend) if parallel else None,
+        )
+
+    def plan(
+        self,
+        pattern: PatternLike,
+        optimizer: str = "dps",
+        batch_size: Optional[int] = None,
+        workers: Optional[int] = None,
+        parallel_backend: Optional[str] = None,
+    ) -> OptimizedPlan:
+        """Optimize a pattern without executing it (memoized, LRU).
+
+        The cache key is (pattern, optimizer, index generation,
+        execution-settings fingerprint): an index rebuild — which changes
+        the catalog the cost model priced against — or a different
+        batch/mmap-native/worker configuration can never be served a plan
+        memoized under the old settings.  Cache reads and writes are
+        lock-guarded so concurrent service queries sharing one engine
+        keep the LRU structure consistent; two racers optimizing the same
+        key both store the identical deterministic plan.
+        """
         parsed = self._coerce(pattern)
         self._check_labels(parsed)
         try:
@@ -208,21 +287,29 @@ class GraphEngine:
             raise ValueError(
                 f"unknown optimizer {optimizer!r}; choose from {sorted(_OPTIMIZERS)}"
             ) from None
-        cache: Optional[OrderedDict[Tuple[str, str], OptimizedPlan]]
-        cache = getattr(self, "_plan_cache", None)
-        if not isinstance(cache, OrderedDict):
-            # tolerate a plain dict planted by tests/older callers
-            cache = self._plan_cache = OrderedDict(cache or {})
-        key = (str(parsed), optimizer)
-        cached = cache.get(key)
-        if cached is not None:
-            cache.move_to_end(key)  # LRU: a hit makes the entry youngest
-            return cached
+        key = (
+            str(parsed),
+            optimizer,
+            getattr(self.db, "index_generation", 0),
+            self._execution_settings_key(batch_size, workers, parallel_backend),
+        )
+        with self._plan_guard():
+            cache: Optional[OrderedDict[Tuple, OptimizedPlan]]
+            cache = getattr(self, "_plan_cache", None)
+            if not isinstance(cache, OrderedDict):
+                # tolerate a plain dict planted by tests/older callers
+                cache = self._plan_cache = OrderedDict(cache or {})
+            cached = cache.get(key)
+            if cached is not None:
+                cache.move_to_end(key)  # LRU: a hit makes the entry youngest
+                return cached
         model = CostModel(self.db.catalog, parsed, self.cost_params)
         optimized = optimize(parsed, model)
-        while len(cache) >= self.PLAN_CACHE_SIZE:
-            cache.popitem(last=False)  # evict the least recently used plan
-        cache[key] = optimized
+        with self._plan_guard():
+            cache = self._plan_cache
+            while len(cache) >= self.PLAN_CACHE_SIZE:
+                cache.popitem(last=False)  # evict the least recently used plan
+            cache[key] = optimized
         return optimized
 
     def match(
@@ -254,7 +341,10 @@ class GraphEngine:
         (reused across queries); ``None`` inherits the engine's
         ``workers``.  Rows come back identical to the sequential path.
         """
-        optimized = self.plan(pattern, optimizer=optimizer)
+        optimized = self.plan(
+            pattern, optimizer=optimizer, batch_size=batch_size,
+            workers=workers, parallel_backend=parallel_backend,
+        )
         if reset_counters:
             self.db.reset_counters()
         effective = self.batch_size if batch_size is None else batch_size
@@ -286,6 +376,7 @@ class GraphEngine:
         workers: Optional[int] = None,
         parallel_backend: Optional[str] = None,
         morsel_size: Optional[int] = None,
+        timeout: Optional[float] = None,
     ) -> StreamingResult:
         """Stream matches lazily through the pipelined executor.
 
@@ -300,9 +391,16 @@ class GraphEngine:
         behave exactly as in :meth:`match`; abandoning a parallel stream
         early (``limit`` reached or :meth:`StreamingResult.close`)
         cancels the morsels that have not started, while the engine-owned
-        pool stays warm for the next query.
+        pool stays warm for the next query.  ``timeout`` is a per-query
+        deadline in seconds: an expired deadline stops the stream
+        cooperatively (between rows) and flags the run's metrics
+        ``truncated`` with ``stop_reason="timeout"`` — the query service
+        rides this for its admission-to-completion deadlines.
         """
-        optimized = self.plan(pattern, optimizer=optimizer)
+        optimized = self.plan(
+            pattern, optimizer=optimizer, batch_size=batch_size,
+            workers=workers, parallel_backend=parallel_backend,
+        )
         effective = self.batch_size if batch_size is None else batch_size
         effective_workers = self.workers if workers is None else workers
         pool = None
@@ -316,6 +414,7 @@ class GraphEngine:
             parallel_backend=parallel_backend or self.parallel_backend,
             morsel_size=morsel_size,
             worker_pool=pool,
+            timeout=timeout,
         )
 
     def explain(self, pattern: PatternLike, optimizer: str = "dps") -> str:

@@ -51,6 +51,14 @@ class RunMetrics:
     center_cache: Optional[CacheStats] = None
     #: morsel-scheduler activity (None for sequential runs)
     parallel: Optional[ParallelStats] = None
+    #: True when a stream stopped before exhausting the operator chain
+    #: (LIMIT reached, deadline fired, or explicit close): the rows
+    #: delivered are a prefix of the full result, not necessarily all of
+    #: it.  Always False for fully drained runs and for ``execute_plan``.
+    truncated: bool = False
+    #: why a truncated stream stopped: ``"limit"``, ``"timeout"`` or
+    #: ``"closed"`` (None when not truncated)
+    stop_reason: Optional[str] = None
 
     @property
     def physical_io(self) -> int:
@@ -302,6 +310,7 @@ class StreamingResult:
         db: GraphDatabase,
         center_cache: Optional[CenterCache] = None,
         parallel: Optional[ParallelExecution] = None,
+        columns: Tuple[str, ...] = (),
     ):
         self._rows = rows
         self._db = db
@@ -312,6 +321,9 @@ class StreamingResult:
         self._finalized = False
         self.metrics = metrics
         self.parallel = parallel
+        #: projected output columns, in row order (pattern variables) —
+        #: same contract as :attr:`QueryResult.columns`
+        self.columns = columns
 
     def __iter__(self) -> "StreamingResult":
         return self
@@ -333,7 +345,13 @@ class StreamingResult:
     def close(self) -> None:
         """Abandon the stream early: close the operator chain, cancel
         outstanding morsels, and finalize the metrics over the work
-        actually performed."""
+        actually performed.  A close before exhaustion marks the run
+        ``truncated`` (``stop_reason="closed"`` unless the stream already
+        stopped itself at a limit or deadline)."""
+        if not self._finalized:
+            self.metrics.truncated = True
+            if self.metrics.stop_reason is None:
+                self.metrics.stop_reason = "closed"
         self._rows.close()
         if self.parallel is not None:
             self.parallel.finish()
@@ -374,6 +392,7 @@ def execute_plan_streaming(
     morsel_size: Optional[int] = None,
     worker_pool: Optional[WorkerPool] = None,
     sanitize: bool = False,
+    timeout: Optional[float] = None,
 ) -> StreamingResult:
     """Yield projected result rows lazily; stop early at *limit*.
 
@@ -388,6 +407,16 @@ def execute_plan_streaming(
     execution the final stage's morsels are merged lazily, and stopping
     at *limit* (or :meth:`StreamingResult.close`) cancels the morsels
     that have not started yet.
+
+    ``timeout`` is a per-query deadline in seconds, measured from the
+    first row pull: once it expires the stream stops before the next
+    pull, the outstanding morsels are cancelled, and the metrics are
+    flagged ``truncated`` with ``stop_reason="timeout"``.  Cancellation
+    is cooperative — the check runs between output rows, so a single
+    long-running operator stage is bounded by ``row_limit``, not by the
+    deadline.  Stopping at *limit* likewise flags the run truncated
+    (``stop_reason="limit"``): the delivered rows are a prefix of the
+    full result, which may or may not have had more rows.
     """
     if workers is None and worker_pool is not None:
         workers = worker_pool.workers
@@ -410,15 +439,33 @@ def execute_plan_streaming(
             source = op.rows(source)
         projected = project.rows(source)
 
+    def stop(reason: str) -> None:
+        metrics.truncated = True
+        metrics.stop_reason = reason
+
     def bounded() -> Iterator[Row]:
         try:
             if limit is not None and limit <= 0:
+                stop("limit")
                 return
+            # the deadline clock starts at the first pull, matching the
+            # wall clock StreamingResult reports in elapsed_seconds
+            deadline = (
+                time.perf_counter() + timeout if timeout is not None else None
+            )
             emitted = 0
-            for row in projected:
+            while True:
+                if deadline is not None and time.perf_counter() >= deadline:
+                    stop("timeout")
+                    return
+                try:
+                    row = next(projected)
+                except StopIteration:
+                    return
                 yield row
                 emitted += 1
                 if limit is not None and emitted >= limit:
+                    stop("limit")
                     return
         finally:
             # explicit teardown (not GC order): stopping at the limit or
@@ -428,5 +475,6 @@ def execute_plan_streaming(
                 execution.finish()
 
     return StreamingResult(
-        bounded(), metrics, db, center_cache=center_cache, parallel=execution
+        bounded(), metrics, db, center_cache=center_cache, parallel=execution,
+        columns=tuple(plan.pattern.variables),
     )

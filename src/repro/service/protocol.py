@@ -1,0 +1,158 @@
+"""Wire protocol for the always-on query service.
+
+Line-delimited JSON over a byte stream: every request and every
+response is one JSON object on one ``\\n``-terminated line, so the
+protocol works identically over a raw TCP socket, an SSH tunnel, or
+``nc`` by hand.  Requests carry an ``op``:
+
+``query``
+    ``{"op": "query", "id": 7, "pattern": "A -> C, C -> D",
+    "optimizer": "dps", "limit": 100, "row_limit": 500000,
+    "timeout_ms": 2000, "priority": 0}`` — everything after ``pattern``
+    is optional.  ``id`` is echoed verbatim on the response so clients
+    may pipeline requests and match answers out of band.
+``stats``
+    aggregate service counters + latency percentiles.
+``ping``
+    liveness probe; answers ``{"ok": true, "pong": true}``.
+
+Successful query responses carry ``columns`` (pattern variables in row
+order), ``rows`` (arrays of node ids, byte-identical to what the
+library's own drivers produce), ``truncated``/``stop_reason`` (the
+streaming driver's partial-result flags), and a ``metrics`` object
+(queue wait, execution wall, cache hit rate).  Failures carry
+``{"ok": false, "error": {"code": ..., "message": ...}}`` with ``code``
+from :data:`ERROR_CODES`; ``overloaded`` is the fast 429-style
+load-shed reject — the server answers it without queueing any work.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence
+
+#: hard ceiling on one request/response line; longer lines are a
+#: protocol error, never an unbounded buffer
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+#: every ``error.code`` a response may carry
+ERROR_CODES = (
+    "bad_request",   # malformed JSON / unknown op / invalid field
+    "overloaded",    # admission queue full: request shed, retry later
+    "timeout",       # deadline expired before any rows were produced
+    "row_limit",     # intermediate-result guard tripped mid-query
+    "internal",      # unexpected server-side failure
+    "shutdown",      # server stopping; in-queue work is bounced
+)
+
+OPS = ("query", "stats", "ping")
+
+
+class ProtocolError(ValueError):
+    """A request the server refuses to act on, with its error code."""
+
+    def __init__(self, message: str, code: str = "bad_request") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+@dataclass(frozen=True)
+class Request:
+    """One parsed, validated request line."""
+
+    op: str
+    id: Any = None
+    pattern: str = ""
+    optimizer: str = "dps"
+    limit: Optional[int] = None
+    row_limit: Optional[int] = None
+    timeout_ms: Optional[float] = None
+    priority: int = 0
+
+
+def _optional_count(raw: Dict[str, Any], field: str) -> Optional[int]:
+    value = raw.get(field)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+        raise ProtocolError(f"{field!r} must be a non-negative integer")
+    return value
+
+
+def parse_request(line: bytes) -> Request:
+    """Parse and validate one request line (raises :class:`ProtocolError`)."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError("request line exceeds MAX_LINE_BYTES")
+    try:
+        raw = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as err:
+        raise ProtocolError(f"request is not valid JSON: {err}") from None
+    if not isinstance(raw, dict):
+        raise ProtocolError("request must be a JSON object")
+    op = raw.get("op")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r}; choose from {list(OPS)}")
+    request_id = raw.get("id")
+    if op != "query":
+        return Request(op=op, id=request_id)
+    pattern = raw.get("pattern")
+    if not isinstance(pattern, str) or not pattern.strip():
+        raise ProtocolError("'pattern' must be a non-empty string")
+    optimizer = raw.get("optimizer", "dps")
+    if not isinstance(optimizer, str):
+        raise ProtocolError("'optimizer' must be a string")
+    timeout_ms = raw.get("timeout_ms")
+    if timeout_ms is not None and (
+        isinstance(timeout_ms, bool)
+        or not isinstance(timeout_ms, (int, float))
+        or timeout_ms < 0
+    ):
+        raise ProtocolError("'timeout_ms' must be a non-negative number")
+    priority = raw.get("priority", 0)
+    if isinstance(priority, bool) or not isinstance(priority, int):
+        raise ProtocolError("'priority' must be an integer")
+    return Request(
+        op="query",
+        id=request_id,
+        pattern=pattern,
+        optimizer=optimizer,
+        limit=_optional_count(raw, "limit"),
+        row_limit=_optional_count(raw, "row_limit"),
+        timeout_ms=timeout_ms,
+        priority=priority,
+    )
+
+
+def encode(payload: Dict[str, Any]) -> bytes:
+    """One response object as a compact ``\\n``-terminated JSON line."""
+    return json.dumps(payload, separators=(",", ":")).encode() + b"\n"
+
+
+def ok_response(
+    request_id: Any,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[int]],
+    truncated: bool,
+    stop_reason: Optional[str],
+    metrics: Dict[str, Any],
+) -> Dict[str, Any]:
+    return {
+        "id": request_id,
+        "ok": True,
+        "columns": list(columns),
+        "rows": [list(row) for row in rows],
+        "truncated": truncated,
+        "stop_reason": stop_reason,
+        "metrics": metrics,
+    }
+
+
+def error_response(request_id: Any, code: str, message: str) -> Dict[str, Any]:
+    if code not in ERROR_CODES:  # defensive: never emit an unknown code
+        code = "internal"
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }

@@ -159,9 +159,9 @@ class TestPlanCache:
             fig1_engine.plan("B -> C")
             assert fig1_engine.plan("A -> C") is hot  # touch: A is now youngest
             fig1_engine.plan("C -> D")  # at capacity: evicts B, the LRU entry
-            cached_keys = {key for key, _ in fig1_engine._plan_cache.items()}
-            assert ("A -> C", "dps") in cached_keys
-            assert ("B -> C", "dps") not in cached_keys
+            cached_patterns = {key[0] for key in fig1_engine._plan_cache}
+            assert "A -> C" in cached_patterns
+            assert "B -> C" not in cached_patterns
             # and the survivor is still served from cache, same object
             assert fig1_engine.plan("A -> C") is hot
         finally:
@@ -175,10 +175,61 @@ class TestPlanCache:
             fig1_engine.plan("A -> C")
             second = fig1_engine.plan("B -> C")
             fig1_engine.plan("C -> D")  # A is oldest: evicted
-            assert ("A -> C", "dps") not in fig1_engine._plan_cache
+            assert "A -> C" not in {key[0] for key in fig1_engine._plan_cache}
             assert fig1_engine.plan("B -> C") is second
         finally:
             fig1_engine.PLAN_CACHE_SIZE = original
+
+    def test_cache_key_includes_execution_settings(self, fig1_engine):
+        """Mixed-mode traffic must never share one memoized plan slot.
+
+        The service interleaves scalar/batched and sequential/parallel
+        queries on one engine; the cache key carries the execution
+        fingerprint so a plan memoized under one mode can never be
+        served (or evict) another mode's entry.
+        """
+        fig1_engine._plan_cache = {}
+        scalar = fig1_engine.plan("A -> C, C -> D")
+        batched = fig1_engine.plan("A -> C, C -> D", batch_size=512)
+        parallel = fig1_engine.plan("A -> C, C -> D", workers=2)
+        both = fig1_engine.plan("A -> C, C -> D", batch_size=512, workers=2)
+        assert len(fig1_engine._plan_cache) == 4
+        # identical settings still hit their own entry, same object
+        assert fig1_engine.plan("A -> C, C -> D") is scalar
+        assert fig1_engine.plan("A -> C, C -> D", batch_size=512) is batched
+        assert fig1_engine.plan("A -> C, C -> D", workers=2) is parallel
+        assert (
+            fig1_engine.plan("A -> C, C -> D", batch_size=512, workers=2)
+            is both
+        )
+        # batch_size=0 forces the scalar path: same fingerprint as default
+        assert fig1_engine.plan("A -> C, C -> D", batch_size=0) is scalar
+
+    def test_cache_key_tracks_engine_default_settings(self):
+        """Engine-level defaults feed the fingerprint like overrides do."""
+        from repro.graph import generators
+
+        g = generators.figure1_graph()
+        plain = GraphEngine(g)
+        plain._plan_cache = {}
+        first = plain.plan("A -> C")
+        plain.batch_size = 512  # engine reconfigured between queries
+        second = plain.plan("A -> C")
+        assert first is not second
+        assert len(plain._plan_cache) == 2
+
+    def test_cache_key_includes_index_generation(self, fig1_engine):
+        """An index rebuild re-plans: the old catalog priced the old plan."""
+        fig1_engine._plan_cache = {}
+        before = fig1_engine.plan("A -> C, C -> D")
+        generation = fig1_engine.db.index_generation
+        try:
+            fig1_engine.db.index_generation = generation + 1
+            after = fig1_engine.plan("A -> C, C -> D")
+            assert before is not after
+            assert len(fig1_engine._plan_cache) == 2
+        finally:
+            fig1_engine.db.index_generation = generation
 
     def test_cached_plan_still_correct(self, fig1_engine):
         from repro import NaiveMatcher

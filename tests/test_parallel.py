@@ -13,6 +13,7 @@ the sequential drivers.
 """
 
 import multiprocessing
+import threading
 
 import pytest
 
@@ -243,3 +244,153 @@ def test_workers_one_stays_sequential(engine, big_pattern):
     result = engine.match(big_pattern, workers=1)
     assert result.metrics.parallel is None
     assert getattr(engine, "_worker_pool", None) is None
+
+
+# ----------------------------------------------------------------------
+# concurrent pool access: one engine, interleaved queries (the service's
+# steady state) must never double-create or leak a pool
+# ----------------------------------------------------------------------
+def _counting_pool(monkeypatch):
+    """Patch the engine module's WorkerPool with a construction counter."""
+    import repro.query.engine as engine_mod
+
+    created = []
+    real = engine_mod.WorkerPool
+
+    class CountingPool(real):
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            created.append(self)
+
+    monkeypatch.setattr(engine_mod, "WorkerPool", CountingPool)
+    return created
+
+
+def test_concurrent_pool_create_is_race_free(engine, monkeypatch):
+    engine.close_pool()
+    created = _counting_pool(monkeypatch)
+    barrier = threading.Barrier(4)
+    grabbed = []
+
+    def grab():
+        barrier.wait()
+        for _ in range(5):
+            grabbed.append(engine.worker_pool(2, "thread"))
+
+    threads = [threading.Thread(target=grab) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(created) == 1, "interleaved worker_pool() double-created pools"
+    assert all(pool is created[0] for pool in grabbed)
+    assert not created[0].closed
+    engine.close_pool()
+
+
+def test_concurrent_pool_invalidation_no_leak(engine, monkeypatch):
+    """A generation bump observed by two racing queries replaces the
+    stale pool exactly once; nobody keeps (or leaks) the dead pool."""
+    engine.close_pool()
+    created = _counting_pool(monkeypatch)
+    stale = engine.worker_pool(2, "thread")
+    engine.db.rebuild_join_index()  # stale pool's generation is now old
+    barrier = threading.Barrier(4)
+    grabbed = []
+
+    def grab():
+        barrier.wait()
+        for _ in range(5):
+            grabbed.append(engine.worker_pool(2, "thread"))
+
+    threads = [threading.Thread(target=grab) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(created) == 2, "invalidation rebuilt more than one pool"
+    fresh = created[-1]
+    assert stale.closed and fresh is not stale
+    assert all(pool is fresh for pool in grabbed)
+    assert not fresh.closed
+    engine.close_pool()
+
+
+# ----------------------------------------------------------------------
+# truncation flags: limit / deadline / close must mark partial results
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_limit_stop_flags_truncated(engine, big_pattern, backend):
+    stream = engine.match_iter(
+        big_pattern, workers=2, parallel_backend=backend, morsel_size=1, limit=2
+    )
+    rows = list(stream)
+    assert len(rows) == 2
+    assert stream.metrics.truncated
+    assert stream.metrics.stop_reason == "limit"
+    assert stream.metrics.result_rows == 2
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_early_close_flags_truncated(engine, big_pattern, backend):
+    stream = engine.match_iter(
+        big_pattern, workers=2, parallel_backend=backend, morsel_size=1
+    )
+    next(stream)
+    execution = stream.parallel
+    stream.close()
+    assert stream.metrics.truncated
+    assert stream.metrics.stop_reason == "closed"
+    assert execution.cancel_event.is_set()
+    # with single-row morsels the run fans out far beyond what the
+    # workers can burn through before the close lands, so unstarted
+    # morsels must be dropped.  Only the process backend pays enough
+    # per-morsel IPC for this to be deterministic; in-process threads
+    # can drain the whole fan-out before close() is reached.
+    if backend == "process" and execution.stats.morsels > 8:
+        assert execution.stats.cancelled_morsels > 0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_expired_deadline_flags_timeout(engine, big_pattern, backend):
+    oracle = engine.match(big_pattern)
+    stream = engine.match_iter(
+        big_pattern, workers=2, parallel_backend=backend, morsel_size=1,
+        timeout=0.0,
+    )
+    rows = list(stream)
+    assert rows == []  # the deadline had already expired at the first pull
+    assert stream.metrics.truncated
+    assert stream.metrics.stop_reason == "timeout"
+    assert stream.parallel.cancel_event.is_set()
+    # the engine-owned pool survives a timed-out query untouched
+    again = engine.match(big_pattern, workers=2, parallel_backend=backend)
+    assert again.rows == oracle.rows
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_drained_stream_is_not_truncated(engine, big_pattern, backend):
+    oracle = engine.match(big_pattern)
+    stream = engine.match_iter(
+        big_pattern, workers=2, parallel_backend=backend, timeout=600.0
+    )
+    rows = list(stream)
+    assert rows == oracle.rows
+    assert not stream.metrics.truncated
+    assert stream.metrics.stop_reason is None
+    # close() after natural exhaustion must not relabel the run
+    stream.close()
+    assert not stream.metrics.truncated
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs the fork start method")
+def test_early_close_leaves_no_worker_processes(engine, big_pattern):
+    """Abandoning a parallel stream mid-flight leaks no pool workers."""
+    stream = engine.match_iter(
+        big_pattern, workers=2, parallel_backend="process", morsel_size=1
+    )
+    next(stream)
+    stream.close()
+    assert stream.metrics.truncated
+    engine.close_pool()
+    assert multiprocessing.active_children() == []

@@ -170,6 +170,34 @@ class TestDiff:
         assert len(lines) == 1
         assert "cold_wall_ms" in lines[0]
 
+    def test_latency_percentile_regression_flagged(self, tmp_path):
+        old = _bench_file(tmp_path, "old.json", [
+            dict(self._entry("mixed", "service", 100.0, "steady"),
+                 p50_ms=5.0, p95_ms=9.0, p99_ms=12.0)
+        ])
+        new = _bench_file(tmp_path, "new.json", [
+            dict(self._entry("mixed", "service", 100.0, "steady"),
+                 p50_ms=5.2, p95_ms=9.1, p99_ms=20.0)
+        ])
+        lines = diff_bench_files(old, new)
+        assert len(lines) == 1
+        assert "p99_ms" in lines[0] and "mixed/service/steady" in lines[0]
+
+    def test_shed_rate_regression_flagged(self, tmp_path):
+        old = _bench_file(tmp_path, "old.json", [
+            dict(self._entry("mixed", "service", 100.0, "overload"),
+                 shed_rate=0.30)
+        ])
+        new = _bench_file(tmp_path, "new.json", [
+            dict(self._entry("mixed", "service", 100.0, "overload"),
+                 shed_rate=0.60)
+        ])
+        lines = diff_bench_files(old, new)
+        assert len(lines) == 1
+        assert "shed_rate" in lines[0]
+        # dimensionless ratio: no trailing unit glued onto the numbers
+        assert "0.60ms" not in lines[0] and "0.60KiB" not in lines[0]
+
     def test_missing_metric_is_skipped(self, tmp_path):
         # a file written before a metric existed cannot regress on it
         old = _bench_file(tmp_path, "old.json", [
