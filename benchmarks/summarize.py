@@ -23,7 +23,10 @@ variant) and flags every regression above 15% in any gated metric —
 wcoj-vs-left-deep plan-quality signal), the service-load latency
 percentiles ``p50_ms``/``p95_ms``/``p99_ms``, and ``shed_rate``
 (fraction of offered load rejected under overload) — exiting non-zero
-if one is found: the CI regression gate.
+if one is found: the CI regression gate.  Throughput metrics gate the
+other way: a >15% *drop* in ``qps`` or ``slot_speedup`` (the
+inflight-scaling curve from ``bench_service_load.py``) is the
+regression.
 """
 
 from __future__ import annotations
@@ -120,8 +123,21 @@ GATED_METRICS = (
     "shed_rate",
 )
 
+#: gated higher-is-better metrics (service throughput and inflight
+#: scaling): here a *drop* beyond the threshold is the regression
+HIGHER_IS_BETTER_METRICS = (
+    "qps",
+    "slot_speedup",
+)
+
 #: display unit per gated-metric suffix (fallback: ms)
-_METRIC_UNITS = {"kib": "KiB", "rows": " rows", "rate": ""}
+_METRIC_UNITS = {
+    "kib": "KiB",
+    "rows": " rows",
+    "rate": "",
+    "qps": " qps",
+    "speedup": "x",
+}
 
 
 def load_bench_entries(path: str) -> Dict[Any, Dict[str, Any]]:
@@ -142,26 +158,31 @@ def diff_bench_files(
     Entries are matched on ``(query, optimizer, variant)``; entries present
     in only one file are reported informationally but are not regressions.
     Every metric of ``GATED_METRICS`` both entries carry is compared:
-    wall time, per-query allocation peak and cold-cache latency.
+    wall time, per-query allocation peak and cold-cache latency.  The
+    ``HIGHER_IS_BETTER_METRICS`` (throughput, inflight scaling) gate in
+    the opposite direction: a drop beyond the threshold is flagged.
     """
     old = load_bench_entries(old_path)
     new = load_bench_entries(new_path)
     regressions: List[str] = []
     for key in sorted(k for k in old if k in new):
-        for metric in GATED_METRICS:
+        for metric in GATED_METRICS + HIGHER_IS_BETTER_METRICS:
             old_value = old[key].get(metric)
             new_value = new[key].get(metric)
             if not old_value or new_value is None:
                 continue
             growth = (new_value - old_value) / old_value
-            if growth > threshold:
+            inverted = metric in HIGHER_IS_BETTER_METRICS
+            bad = (-growth if inverted else growth) > threshold
+            if bad:
                 query, optimizer, variant = key
                 tag = f"{query}/{optimizer}" + (f"/{variant}" if variant else "")
                 unit = _METRIC_UNITS.get(metric.rpartition("_")[2], "ms")
+                sign = "-" if inverted else "+"
                 regressions.append(
                     f"REGRESSION {tag} [{metric}]: {old_value:.2f}{unit} -> "
                     f"{new_value:.2f}{unit} "
-                    f"(+{growth:.0%}, threshold +{threshold:.0%})"
+                    f"({growth:+.0%}, threshold {sign}{threshold:.0%})"
                 )
     return regressions
 

@@ -14,11 +14,13 @@ Three passes over three layers, one diagnostic format:
 * :func:`deep_check` — the whole-project analyzer (``repro check
   --deep``): a call graph with worker-boundary detection
   (:mod:`~repro.analysis.callgraph`), per-function dataflow summaries
-  (:mod:`~repro.analysis.dataflow`), and three interprocedural rule
-  packs — worker shared-state races
-  (:mod:`~repro.analysis.racecheck`), cache-generation discipline and
-  mmap view lifetime (:mod:`~repro.analysis.contracts`).  Its runtime
-  twin is sanitize mode (:mod:`~repro.analysis.sanitizer`), armed by
+  (:mod:`~repro.analysis.dataflow`), and four rule packs — worker
+  shared-state races (:mod:`~repro.analysis.racecheck`),
+  cache-generation discipline and mmap view lifetime
+  (:mod:`~repro.analysis.contracts`), and lock discipline for the
+  internally synchronized concurrent structures
+  (:mod:`~repro.analysis.concurrency`).  Its runtime twin is sanitize
+  mode (:mod:`~repro.analysis.sanitizer`), armed by
   ``ExecutionContext(sanitize=True)`` or ``REPRO_SANITIZE=1``.
 
 All passes return lists of :class:`Diagnostic`; :func:`has_errors` is the
@@ -26,6 +28,7 @@ gate condition used by ``repro check`` and CI.
 """
 
 from .callgraph import Project, build_project
+from .concurrency import check_concurrency
 from .contracts import check_contracts, check_mmap, deep_check
 from .diagnostics import (
     Diagnostic,
@@ -54,6 +57,7 @@ __all__ = [
     "audit_snapshot",
     "build_project",
     "check_bptree",
+    "check_concurrency",
     "check_contracts",
     "check_mmap",
     "check_plan",

@@ -71,8 +71,11 @@ EXEMPT_MODULE_PREFIXES: Dict[str, str] = {
     ),
     "repro.service.": (
         "service state mutates only on the event loop (scheduler) or under "
-        "ServiceStats' lock; query execution in slot threads serializes on "
-        "the per-service engine lock"
+        "ServiceStats' lock; slot threads execute queries concurrently but "
+        "share only the engine's internally synchronized structures "
+        "(sharded CenterCache, lock-guarded plan cache, tiered storage "
+        "read path) plus per-query private contexts and thread-local "
+        "IOStats overrides"
     ),
     "repro.analysis.": (
         "analysis passes never execute inside query workers (they appear "

@@ -21,7 +21,13 @@ has a runtime tripwire that fires on the actual execution:
 * **snapshot view poisoning** — closing a
   :class:`~repro.storage.snapshot.Snapshot` while zero-copy views are
   still exported raises :class:`SanitizerError` naming the hazard
-  instead of the cryptic ``BufferError`` (``mmap/view-held`` oracle).
+  instead of the cryptic ``BufferError`` (``mmap/view-held`` oracle);
+* **cache shard isolation** — a sharded
+  :class:`~repro.query.physical.cache.CenterCache` keeps every entry in
+  the shard its key hashes to, with per-shard byte ledgers that match
+  the entries actually resident; :func:`verify_shard_isolation` audits
+  both after worker morsels run, so a cross-shard write (a locking bug
+  in the striped tier) trips at runtime (``conc/*`` oracle).
 
 Everything is opt-in: ``ExecutionContext(sanitize=True)`` or
 ``REPRO_SANITIZE=1`` in the environment (read per execution, so the
@@ -98,8 +104,16 @@ class SharedStateGuard:
             facts["plan"] = fingerprint(plan)
         return cls(facts)
 
-    def verify(self, db: Any, plan: Any = None, where: str = "") -> None:
-        """Raise :class:`SanitizerError` naming every drifted fact."""
+    def verify(
+        self, db: Any, plan: Any = None, where: str = "", cache: Any = None
+    ) -> None:
+        """Raise :class:`SanitizerError` naming every drifted fact.
+
+        ``cache`` additionally audits a (possibly sharded) CenterCache
+        via :func:`verify_shard_isolation` — the striped tier's runtime
+        oracle rides the same capture/verify bracket as the freeze
+        checks.
+        """
         current = type(self).capture(db, plan)._facts
         drifted = sorted(
             name for name, value in self._facts.items()
@@ -112,6 +126,32 @@ class SharedStateGuard:
                 f"{location}: {', '.join(drifted)} drifted — worker code "
                 f"must not mutate shared structures (see race/* rules)"
             )
+        if cache is not None:
+            verify_shard_isolation(cache, where=where)
+
+
+def verify_shard_isolation(cache: Any, where: str = "") -> None:
+    """Audit a sharded cache's shard homes and byte ledgers.
+
+    Duck-typed: any object exposing ``check_shard_isolation() ->
+    list[str]`` qualifies (the striped
+    :class:`~repro.query.physical.cache.CenterCache` does).  Objects
+    without the hook — unsharded caches, ``None`` — pass trivially, so
+    call sites need no tier checks.  Raises :class:`SanitizerError`
+    listing every violation.
+    """
+    checker = getattr(cache, "check_shard_isolation", None)
+    if checker is None:
+        return
+    violations = checker()
+    if violations:
+        location = f" in {where}" if where else ""
+        raise SanitizerError(
+            f"cache shard isolation violated{location}: "
+            + "; ".join(violations)
+            + " — a write landed outside its key's shard or a shard "
+            "ledger drifted (see conc/* rules)"
+        )
 
 
 def assert_generation_fresh(
@@ -133,4 +173,5 @@ __all__ = [
     "assert_generation_fresh",
     "fingerprint",
     "sanitize_enabled",
+    "verify_shard_isolation",
 ]

@@ -261,6 +261,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             if args.default_timeout_ms is not None else None
         ),
         max_result_rows=args.max_result_rows,
+        dispatch=args.dispatch,
     )
     service = QueryService(engine, config)
 
@@ -268,7 +269,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host, port = await service.start()
         print(f"serving {args.database} on {host}:{port} "
               f"(max_inflight={config.max_inflight}, "
-              f"queue_depth={config.queue_depth})", flush=True)
+              f"queue_depth={config.queue_depth}, "
+              f"tier={service.tier}, dispatch={service.dispatch})",
+              flush=True)
         try:
             await service.serve_forever()
         except asyncio.CancelledError:
@@ -503,6 +506,14 @@ def build_parser() -> argparse.ArgumentParser:
                               "timeout_ms (default: none)")
     p_serve.add_argument("--max-result-rows", type=int, default=1_000_000,
                          help="hard cap on rows returned per query")
+    p_serve.add_argument("--dispatch",
+                         choices=("auto", "inline", "process"),
+                         default="auto",
+                         help="query execution mode: 'inline' runs on the "
+                              "slot threads; 'process' ships each admitted "
+                              "query whole to a worker process (snapshot "
+                              "databases only) so --max-inflight slots use "
+                              "that many cores (default auto = inline)")
     p_serve.add_argument("--workers", type=int, default=None,
                          help="engine default worker count for parallel "
                               "morsel execution (shared generation-keyed "

@@ -17,6 +17,7 @@ ablation benchmarks.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Optional, Tuple
 
@@ -89,11 +90,9 @@ class GraphDatabase:
         code_cache_enabled: bool = True,
     ) -> None:
         self.graph = graph
-        self.stats = IOStats()
         self.pool = BufferPool(
             DiskManager(page_size=page_size),
             capacity_bytes=buffer_bytes,
-            stats=self.stats,
         )
         self.labeling = labeling if labeling is not None else build_two_hop(graph)
         if self.labeling.node_count != graph.node_count:
@@ -115,7 +114,26 @@ class GraphDatabase:
         self.mmap_views = False
         self._snapshot = None
         self._snapshot_config: Optional[Tuple[int, int, bool, bool]] = None
+        self._table_lock = threading.Lock()
         self.pool.flush_all()
+
+    @property
+    def stats(self) -> IOStats:
+        """The I/O recorder charges resolve to — the buffer pool's, which
+        honours the per-thread :func:`~repro.storage.stats.use_stats`
+        override so concurrent queries get exact attribution."""
+        return self.pool.stats
+
+    # a live database is shipped whole to process-pool workers; locks do
+    # not pickle, so the worker re-creates its own on arrival
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_table_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._table_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     @classmethod
@@ -154,11 +172,9 @@ class GraphDatabase:
             )
         db = cls.__new__(cls)
         db.graph = snapshot.build_graph()
-        db.stats = IOStats()
         db.pool = BufferPool(
             DiskManager(page_size=page_size),
             capacity_bytes=buffer_bytes,
-            stats=db.stats,
         )
         db.labeling = TwoHopLabeling.from_array_source(
             snapshot.node_count,
@@ -185,6 +201,7 @@ class GraphDatabase:
         db._snapshot_config = (
             buffer_bytes, page_size, code_cache_enabled, use_views
         )
+        db._table_lock = threading.Lock()
         return db
 
     # ------------------------------------------------------------------
@@ -233,7 +250,13 @@ class GraphDatabase:
             raise KeyError(
                 f"no base table for label {label!r}; labels are {self.labels()}"
             )
-        return self._materialize_table(label)
+        # double-checked: concurrent first touches of the same label must
+        # not materialize (and insert pages for) the table twice
+        with self._table_lock:
+            table = self.base_tables.get(label)
+            if table is not None:
+                return table
+            return self._materialize_table(label)
 
     def node_label(self, node: int) -> str:
         return self._node_labels[node]

@@ -17,6 +17,7 @@ engine, so every probe is charged buffer-pool I/O.
 
 from __future__ import annotations
 
+import threading
 from array import array
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
@@ -48,9 +49,23 @@ class ClusterRJoinIndex:
         self._wtable = BPlusTree(pool, name="w-table", fanout=fanout, unique=True)
         self._center_count = 0
         # memo of W(X, Y) as sorted array('q') — the batch kernels'
-        # representation; the W-table is immutable once built
+        # representation; the W-table is immutable once built.  The memo
+        # lock makes first-probe fills safe when concurrent queries share
+        # a live engine (the service's fine-grained tier).
         self._centers_arrays: Dict[Tuple[str, str], "array[int]"] = {}
+        self._memo_lock = threading.Lock()
         self._build(graph, labeling)
+
+    # a live database is shipped whole to process-pool workers; locks do
+    # not pickle, so the worker re-creates its own on arrival
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_memo_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._memo_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def _build(self, graph: DiGraph, labeling: TwoHopLabeling) -> None:
@@ -95,10 +110,13 @@ class ClusterRJoinIndex:
         pair = (x_label, y_label)
         cached = self._centers_arrays.get(pair)
         if cached is None:
-            centers = self.centers(x_label, y_label)
-            cached = self._centers_arrays[pair] = (
-                array("q", centers) if centers else _EMPTY_ARRAY
-            )
+            with self._memo_lock:
+                cached = self._centers_arrays.get(pair)
+                if cached is None:
+                    centers = self.centers(x_label, y_label)
+                    cached = self._centers_arrays[pair] = (
+                        array("q", centers) if centers else _EMPTY_ARRAY
+                    )
         return cached
 
     def get_f(self, center: int, label: str) -> Tuple[int, ...]:
@@ -204,10 +222,22 @@ class SnapshotRJoinIndex:
         }
         self._centers_arrays: Dict[Tuple[str, str], "array[int]"] = {}
         self._centers_tuples: Dict[Tuple[str, str], Tuple[int, ...]] = {}
-        # per-center decoded leaves, filled on first get_ft probe
+        # per-center decoded leaves, filled on first get_ft probe; the
+        # memo lock serializes first-probe decodes when the service's
+        # snapshot tier runs queries over this index concurrently
         self._leaves: Dict[
             int, Tuple[Dict[str, Tuple[int, ...]], Dict[str, Tuple[int, ...]]]
         ] = {}
+        self._memo_lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_memo_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._memo_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # paper API (mirrors ClusterRJoinIndex)
@@ -217,9 +247,9 @@ class SnapshotRJoinIndex:
         pair = (x_label, y_label)
         cached = self._centers_tuples.get(pair)
         if cached is None:
-            cached = self._centers_tuples[pair] = tuple(
-                self.centers_array(x_label, y_label)
-            )
+            decoded = tuple(self.centers_array(x_label, y_label))
+            with self._memo_lock:
+                cached = self._centers_tuples.setdefault(pair, decoded)
         return cached
 
     def centers_array(self, x_label: str, y_label: str) -> "array[int]":
@@ -229,10 +259,11 @@ class SnapshotRJoinIndex:
         if cached is None:
             position = self._pair_positions.get(pair)
             if position is None:
-                cached = _EMPTY_ARRAY
+                decoded = _EMPTY_ARRAY
             else:
-                cached = self._snapshot.wtable_centers(position)
-            self._centers_arrays[pair] = cached
+                decoded = self._snapshot.wtable_centers(position)
+            with self._memo_lock:
+                cached = self._centers_arrays.setdefault(pair, decoded)
         return cached
 
     def get_f(self, center: int, label: str) -> Tuple[int, ...]:
@@ -252,7 +283,9 @@ class SnapshotRJoinIndex:
             position = self._snapshot.center_position(center)
             if position < 0:
                 return _EMPTY_SUBCLUSTERS
-            leaf = self._leaves[center] = self._snapshot.subclusters_at(position)
+            decoded = self._snapshot.subclusters_at(position)
+            with self._memo_lock:
+                leaf = self._leaves.setdefault(center, decoded)
         return leaf
 
     # ------------------------------------------------------------------

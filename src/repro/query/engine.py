@@ -31,7 +31,11 @@ from ..graph.digraph import DiGraph
 from ..labeling.twohop import TwoHopLabeling
 from ..storage.buffer import DEFAULT_BUFFER_BYTES
 from .costmodel import CostModel, CostParams
-from .physical.cache import DEFAULT_CACHE_BYTES, CenterCache
+from .physical.cache import (
+    DEFAULT_CACHE_BYTES,
+    DEFAULT_CACHE_SHARDS,
+    CenterCache,
+)
 from .physical.drivers import (
     QueryResult,
     StreamingResult,
@@ -82,6 +86,7 @@ class GraphEngine:
         batch_size: Optional[int] = None,
         workers: Optional[int] = None,
         parallel_backend: Optional[str] = None,
+        cache_shards: int = DEFAULT_CACHE_SHARDS,
     ) -> None:
         self.db = GraphDatabase(
             graph,
@@ -91,8 +96,13 @@ class GraphEngine:
         )
         self.cost_params = cost_params or CostParams()
         # cross-query LRU of centers/subclusters; cache_bytes <= 0
-        # keeps the object (counters still track misses) but stores nothing
-        self._center_cache = CenterCache(capacity_bytes=cache_bytes)
+        # keeps the object (counters still track misses) but stores
+        # nothing.  cache_shards stripes the LRU into independently
+        # locked shards so the service's concurrent queries contend per
+        # stripe, not on one cache-wide lock.
+        self._center_cache = CenterCache(
+            capacity_bytes=cache_bytes, shards=cache_shards
+        )
         #: default block size for :meth:`match`/:meth:`match_iter`;
         #: ``None`` keeps the scalar tuple-at-a-time oracle
         self.batch_size = batch_size
@@ -110,6 +120,7 @@ class GraphEngine:
         batch_size: Optional[int] = None,
         workers: Optional[int] = None,
         parallel_backend: Optional[str] = None,
+        cache_shards: int = DEFAULT_CACHE_SHARDS,
     ) -> "GraphEngine":
         """Wrap an existing (e.g. reloaded) database without rebuilding it.
 
@@ -119,7 +130,9 @@ class GraphEngine:
         engine = cls.__new__(cls)
         engine.db = db
         engine.cost_params = cost_params or CostParams()
-        engine._center_cache = CenterCache(capacity_bytes=cache_bytes)
+        engine._center_cache = CenterCache(
+            capacity_bytes=cache_bytes, shards=cache_shards
+        )
         engine.batch_size = batch_size
         engine.workers = workers
         engine.parallel_backend = parallel_backend
@@ -160,7 +173,9 @@ class GraphEngine:
         """The engine-owned cross-query :class:`CenterCache` (lazy)."""
         cache = getattr(self, "_center_cache", None)
         if cache is None:
-            cache = self._center_cache = CenterCache()
+            cache = self._center_cache = CenterCache(
+                shards=DEFAULT_CACHE_SHARDS
+            )
         return cache
 
     # ------------------------------------------------------------------

@@ -1,4 +1,4 @@
-"""CenterCache — a size-bounded LRU shared across queries.
+"""CenterCache — a size-bounded, shard-striped LRU shared across queries.
 
 The scalar hot path recomputes two things per query that are pure
 functions of the offline structures:
@@ -10,13 +10,28 @@ functions of the offline structures:
   center again.
 
 Both are invariant until the index is rebuilt, so the engine owns one
-:class:`CenterCache` and threads it through every execution context: a
-single LRU keyed by ``(node, pair_id, side)`` for center sets and
+:class:`CenterCache` and threads it through every execution context: an
+LRU keyed by ``(node, pair_id, side)`` for center sets and
 ``(center, label, side)`` for subclusters, bounded by an approximate
 byte budget (``GraphEngine(cache_bytes=...)``).
 
-Hits/misses/evictions are counted here and surfaced per run as
-:class:`~repro.query.physical.drivers.RunMetrics.center_cache` deltas.
+Concurrency model (the service's lock-free snapshot tier): the cache is
+striped into ``shards`` independently locked stripes, each with its own
+LRU order, byte budget (``capacity_bytes // shards``) and counters.  A
+key is pinned to a shard by hash, so two in-flight queries touching
+different keys contend only when they land on the same stripe; nothing
+ever takes more than one shard lock on the get/put path.  Whole-cache
+operations (``sync``/``invalidate``/``clear``) take the shard locks one
+at a time — safe because entries never migrate between shards.  The
+default is ``shards=1`` (a single-striped cache is byte-for-byte the
+pre-sharding LRU, which the unit tests pin); engines construct theirs
+with :data:`DEFAULT_CACHE_SHARDS` stripes.
+
+Hits/misses/evictions are counted per shard and surfaced as aggregate
+properties; per-*query* attribution is exact — every ``get``/``put``
+accepts an optional per-context ``stats`` recorder
+(:class:`~repro.query.physical.context.CacheStats`) incremented inside
+the shard lock, so overlapping queries never see each other's traffic.
 Invalidation is generation-based: :class:`~repro.db.database.GraphDatabase`
 bumps ``index_generation`` whenever the join index is rebuilt, and
 :meth:`CenterCache.sync` (called by both drivers before any row flows)
@@ -25,14 +40,16 @@ clears the cache when the generation it was filled under is stale.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from typing import TYPE_CHECKING, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from ..algebra import Side
 from . import kernels
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
     from ...db.database import GraphDatabase
+    from .context import CacheStats
 
 #: rough per-entry overhead (key tuple, dict slot, value tuple header)
 _ENTRY_OVERHEAD_BYTES = 96
@@ -42,12 +59,33 @@ _INT_BYTES = 8
 #: default budget for GraphEngine-owned caches (~4 MiB)
 DEFAULT_CACHE_BYTES = 4 << 20
 
+#: stripes for engine-owned caches (service tier runs queries truly
+#: concurrently; 8 stripes keep same-stripe collisions rare at the
+#: 4-slot inflight ceiling without fragmenting the byte budget)
+DEFAULT_CACHE_SHARDS = 8
+
 _CENTERS_TAG = 0
 _SUBCLUSTER_TAG = 1
 
 
+class _Shard:
+    """One independently locked LRU stripe of the cache."""
+
+    __slots__ = ("lock", "store", "bytes", "capacity_bytes",
+                 "hits", "misses", "evictions")
+
+    def __init__(self, capacity_bytes: int) -> None:
+        self.lock = threading.Lock()
+        self.store: "OrderedDict[tuple, Tuple[int, ...]]" = OrderedDict()
+        self.bytes = 0
+        self.capacity_bytes = capacity_bytes
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
 class CenterCache:
-    """LRU of center sets and subclusters, bounded by estimated bytes.
+    """Sharded LRU of center sets and subclusters, bounded by bytes.
 
     ``capacity_bytes <= 0`` disables storage entirely (every ``get`` is a
     miss and ``put`` is a no-op) while keeping the counters alive, so the
@@ -55,18 +93,30 @@ class CenterCache:
     identical instrumentation.
     """
 
-    def __init__(self, capacity_bytes: int = DEFAULT_CACHE_BYTES) -> None:
+    def __init__(
+        self,
+        capacity_bytes: int = DEFAULT_CACHE_BYTES,
+        shards: int = 1,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
         self.capacity_bytes = capacity_bytes
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self._bytes = 0
+        per_shard = capacity_bytes // shards if capacity_bytes > 0 else 0
+        self._shards: Tuple[_Shard, ...] = tuple(
+            _Shard(per_shard) for _ in range(shards)
+        )
+        self._sync_lock = threading.Lock()
         self._generation: Optional[int] = None
         self._pair_epoch: Optional[int] = None
-        self._store: "OrderedDict[tuple, Tuple[int, ...]]" = OrderedDict()
         # sanitize mode: when bound to a database, every read asserts
         # generation freshness (see repro.analysis.sanitizer)
         self._sanitize_db: Optional["GraphDatabase"] = None
+
+    def _shard_for(self, key: tuple) -> _Shard:
+        shards = self._shards
+        if len(shards) == 1:
+            return shards[0]
+        return shards[hash(key) % len(shards)]
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -84,20 +134,29 @@ class CenterCache:
         drops them — an id minted before the epoch bump may since have
         been reassigned to a different label pair, even in an engine
         whose own index generation never moved.
+
+        Concurrent contexts over the same engine sync against the same
+        (immutable while serving) generation, so the common call is the
+        unlocked fast path; the transition itself is serialized on
+        ``_sync_lock`` and re-checked inside it.
         """
-        if self._generation != generation:
-            if self._generation is not None:
-                if self._store:
-                    self.invalidate()
-                # the hook: an index rebuild happened somewhere in this
-                # process — recycle the interning table's ids
-                kernels.clear_pair_ids()
-            self._generation = generation
         epoch = kernels.pair_epoch()
-        if self._pair_epoch != epoch:
-            if self._pair_epoch is not None and self._store:
-                self.invalidate()
-            self._pair_epoch = epoch
+        if self._generation == generation and self._pair_epoch == epoch:
+            return
+        with self._sync_lock:
+            if self._generation != generation:
+                if self._generation is not None:
+                    if self.entry_count:
+                        self.invalidate()
+                    # the hook: an index rebuild happened somewhere in
+                    # this process — recycle the interning table's ids
+                    kernels.clear_pair_ids()
+                self._generation = generation
+            epoch = kernels.pair_epoch()
+            if self._pair_epoch != epoch:
+                if self._pair_epoch is not None and self.entry_count:
+                    self.invalidate()
+                self._pair_epoch = epoch
 
     def bind_sanitizer(self, db: "GraphDatabase") -> None:
         """Arm the per-read freshness tripwire against *db*.
@@ -117,21 +176,30 @@ class CenterCache:
 
     def invalidate(self) -> None:
         """Drop every entry (the index was rebuilt); counters survive."""
-        self._store.clear()
-        self._bytes = 0
+        for shard in self._shards:
+            with shard.lock:
+                shard.store.clear()
+                shard.bytes = 0
 
     def clear(self) -> None:
         """Full reset: entries *and* counters (tests, ablations)."""
-        self.invalidate()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        for shard in self._shards:
+            with shard.lock:
+                shard.store.clear()
+                shard.bytes = 0
+                shard.hits = 0
+                shard.misses = 0
+                shard.evictions = 0
 
     # ------------------------------------------------------------------
     # the two memoized functions
     # ------------------------------------------------------------------
     def get_centers(
-        self, node: int, pair_id: int, side: Side
+        self,
+        node: int,
+        pair_id: int,
+        side: Side,
+        stats: Optional["CacheStats"] = None,
     ) -> Optional[Tuple[int, ...]]:
         """Cached ``getCenters`` result for ``(node, X, Y)``, or None."""
         if self._sanitize_db is not None:
@@ -139,79 +207,157 @@ class CenterCache:
         # the epoch in the key makes entries from a recycled interning
         # table unreachable even before the next sync() sheds them
         key = (_CENTERS_TAG, node, pair_id, side is Side.OUT, kernels.pair_epoch())
-        return self._get(key)
+        return self._get(key, stats)
 
     def put_centers(
-        self, node: int, pair_id: int, side: Side, centers: Tuple[int, ...]
+        self,
+        node: int,
+        pair_id: int,
+        side: Side,
+        centers: Tuple[int, ...],
+        stats: Optional["CacheStats"] = None,
     ) -> None:
         key = (_CENTERS_TAG, node, pair_id, side is Side.OUT, kernels.pair_epoch())
-        self._put(key, centers)
+        self._put(key, centers, stats)
 
     def get_subcluster(
-        self, center: int, label: str, side: Side
+        self,
+        center: int,
+        label: str,
+        side: Side,
+        stats: Optional["CacheStats"] = None,
     ) -> Optional[Tuple[int, ...]]:
         """Cached ``getT(w, Y)`` / ``getF(w, X)`` subcluster, or None."""
         if self._sanitize_db is not None:
             self._assert_fresh()
-        return self._get((_SUBCLUSTER_TAG, center, label, side is Side.OUT))
+        return self._get((_SUBCLUSTER_TAG, center, label, side is Side.OUT), stats)
 
     def put_subcluster(
-        self, center: int, label: str, side: Side, nodes: Tuple[int, ...]
+        self,
+        center: int,
+        label: str,
+        side: Side,
+        nodes: Tuple[int, ...],
+        stats: Optional["CacheStats"] = None,
     ) -> None:
-        self._put((_SUBCLUSTER_TAG, center, label, side is Side.OUT), nodes)
+        self._put((_SUBCLUSTER_TAG, center, label, side is Side.OUT), nodes, stats)
 
     # ------------------------------------------------------------------
-    # LRU mechanics
+    # LRU mechanics (per shard)
     # ------------------------------------------------------------------
-    def _get(self, key: tuple) -> Optional[Tuple[int, ...]]:
-        value = self._store.get(key)
-        if value is None:
-            self.misses += 1
-            return None
-        self._store.move_to_end(key)  # a hit makes the entry youngest
-        self.hits += 1
-        return value
+    def _get(
+        self, key: tuple, stats: Optional["CacheStats"]
+    ) -> Optional[Tuple[int, ...]]:
+        shard = self._shard_for(key)
+        with shard.lock:
+            value = shard.store.get(key)
+            if value is None:
+                shard.misses += 1
+                if stats is not None:
+                    stats.misses += 1
+                return None
+            shard.store.move_to_end(key)  # a hit makes the entry youngest
+            shard.hits += 1
+            if stats is not None:
+                stats.hits += 1
+            return value
 
-    def _put(self, key: tuple, value: Tuple[int, ...]) -> None:
-        if self.capacity_bytes <= 0 or key in self._store:
+    def _put(
+        self, key: tuple, value: Tuple[int, ...],
+        stats: Optional["CacheStats"] = None,
+    ) -> None:
+        shard = self._shard_for(key)
+        if shard.capacity_bytes <= 0:
             return
         cost = _ENTRY_OVERHEAD_BYTES + _INT_BYTES * len(value)
-        if cost > self.capacity_bytes:
+        if cost > shard.capacity_bytes:
             return  # a single oversized entry would evict everything
-        self._store[key] = value
-        self._bytes += cost
-        while self._bytes > self.capacity_bytes and self._store:
-            _, evicted = self._store.popitem(last=False)
-            self._bytes -= _ENTRY_OVERHEAD_BYTES + _INT_BYTES * len(evicted)
-            self.evictions += 1
+        with shard.lock:
+            if key in shard.store:
+                return
+            shard.store[key] = value
+            shard.bytes += cost
+            while shard.bytes > shard.capacity_bytes and shard.store:
+                _, evicted = shard.store.popitem(last=False)
+                shard.bytes -= _ENTRY_OVERHEAD_BYTES + _INT_BYTES * len(evicted)
+                shard.evictions += 1
+                if stats is not None:
+                    stats.evictions += 1
 
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------
     @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    @property
+    def hits(self) -> int:
+        return sum(shard.hits for shard in self._shards)
+
+    @property
+    def misses(self) -> int:
+        return sum(shard.misses for shard in self._shards)
+
+    @property
+    def evictions(self) -> int:
+        return sum(shard.evictions for shard in self._shards)
+
+    @property
     def entry_count(self) -> int:
-        return len(self._store)
+        return sum(len(shard.store) for shard in self._shards)
 
     @property
     def estimated_bytes(self) -> int:
-        return self._bytes
+        return sum(shard.bytes for shard in self._shards)
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        hits = self.hits
+        total = hits + self.misses
+        return hits / total if total else 0.0
 
     def snapshot(self) -> Tuple[int, int, int]:
         """(hits, misses, evictions) — for per-run delta accounting."""
         return (self.hits, self.misses, self.evictions)
 
+    def check_shard_isolation(self) -> List[str]:
+        """Verify every entry lives on the shard its key hashes to.
+
+        The sanitizer's runtime twin of the striping invariant: each
+        key must be reachable through ``_shard_for`` (no entry migrated
+        stripes), and each stripe's byte ledger must equal the recomputed
+        cost of what it actually holds.  Returns a list of human-readable
+        violations (empty when the cache is sound); the caller decides
+        whether to raise.
+        """
+        problems: List[str] = []
+        for index, shard in enumerate(self._shards):
+            with shard.lock:
+                expected_bytes = 0
+                for key, value in shard.store.items():
+                    expected_bytes += _ENTRY_OVERHEAD_BYTES + _INT_BYTES * len(value)
+                    home = self._shards.index(self._shard_for(key))
+                    if home != index:
+                        problems.append(
+                            f"key {key!r} stored on shard {index} but "
+                            f"hashes to shard {home}"
+                        )
+                if expected_bytes != shard.bytes:
+                    problems.append(
+                        f"shard {index} byte ledger {shard.bytes} != "
+                        f"recomputed {expected_bytes}"
+                    )
+        return problems
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"CenterCache(entries={self.entry_count}, "
-            f"bytes~{self._bytes}/{self.capacity_bytes}, "
+            f"CenterCache(shards={self.shard_count}, "
+            f"entries={self.entry_count}, "
+            f"bytes~{self.estimated_bytes}/{self.capacity_bytes}, "
             f"hits={self.hits}, misses={self.misses}, "
             f"evictions={self.evictions})"
         )
 
 
-__all__ = ["CenterCache", "DEFAULT_CACHE_BYTES"]
+__all__ = ["CenterCache", "DEFAULT_CACHE_BYTES", "DEFAULT_CACHE_SHARDS"]

@@ -16,7 +16,7 @@ the counting happens inside the operators themselves.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple
 
 from ...db.database import GraphDatabase
@@ -152,6 +152,10 @@ class ExecutionContext:
     parallel_backend: Optional[str] = None
     morsel_size: int = DEFAULT_MORSEL_SIZE
     sanitize: bool = False
+    #: this run's private CenterCache recorder — operators pass it into
+    #: every shared-cache get, so concurrent queries over one engine get
+    #: exact per-query hit/miss attribution (no global-counter deltas)
+    cache_stats: CacheStats = field(default_factory=CacheStats)
 
     def __post_init__(self) -> None:
         if not self.sanitize:
@@ -163,7 +167,13 @@ class ExecutionContext:
         if self.center_cache is not None:
             self.center_cache.sync(self.db.index_generation)
             if self.sanitize:
+                from ...analysis.sanitizer import verify_shard_isolation
+
                 self.center_cache.bind_sanitizer(self.db)
+                # audit the striped tier at the same choke point: any
+                # cross-shard write or ledger drift left by an earlier
+                # (possibly concurrent) query trips before this run reads
+                verify_shard_isolation(self.center_cache, where="cache sync")
 
     @property
     def batched(self) -> bool:

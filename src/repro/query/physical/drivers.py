@@ -172,20 +172,6 @@ def _merge_worker_cache(
     return merged
 
 
-def _cache_delta(
-    cache: Optional[CenterCache], before: Optional[Tuple[int, int, int]]
-) -> Optional[CacheStats]:
-    """CacheStats covering one run, from counter snapshots."""
-    if cache is None or before is None:
-        return None
-    hits, misses, evictions = cache.snapshot()
-    return CacheStats(
-        hits=hits - before[0],
-        misses=misses - before[1],
-        evictions=evictions - before[2],
-    )
-
-
 # ----------------------------------------------------------------------
 # driver 1: materializing (the paper's HPSJ+ execution)
 # ----------------------------------------------------------------------
@@ -235,7 +221,6 @@ def execute_plan(
         parallel_backend=parallel_backend, morsel_size=morsel_size,
         sanitize=sanitize,
     )
-    cache_before = center_cache.snapshot() if center_cache is not None else None
     io_before = db.stats.snapshot()
     started = time.perf_counter()
 
@@ -255,8 +240,12 @@ def execute_plan(
             (op.rows_out for op in metrics.operators), default=0
         )
         metrics.result_rows = len(rows)
+        # the context's private recorder counts this run's own traffic
+        # exactly (no global-counter deltas, so overlapping queries never
+        # bleed into each other); worker-local cache counts fold on top
         metrics.center_cache = _merge_worker_cache(
-            _cache_delta(center_cache, cache_before), execution.cache_counts
+            ctx.cache_stats if center_cache is not None else None,
+            execution.cache_counts,
         )
         metrics.parallel = execution.stats
         return QueryResult(
@@ -278,7 +267,7 @@ def execute_plan(
     metrics.elapsed_seconds = time.perf_counter() - started
     metrics.io = db.stats.delta_since(io_before)
     metrics.result_rows = len(rows)
-    metrics.center_cache = _cache_delta(center_cache, cache_before)
+    metrics.center_cache = ctx.cache_stats if center_cache is not None else None
     return QueryResult(
         columns=tuple(plan.pattern.variables), rows=rows, plan=plan, metrics=metrics
     )
@@ -308,7 +297,7 @@ class StreamingResult:
         rows: Iterator[Row],
         metrics: RunMetrics,
         db: GraphDatabase,
-        center_cache: Optional[CenterCache] = None,
+        cache_stats: Optional[CacheStats] = None,
         parallel: Optional[ParallelExecution] = None,
         columns: Tuple[str, ...] = (),
     ):
@@ -316,8 +305,9 @@ class StreamingResult:
         self._db = db
         self._io_before: Optional[IOStats] = None
         self._started: Optional[float] = None
-        self._center_cache = center_cache
-        self._cache_before: Optional[Tuple[int, int, int]] = None
+        # the context's private recorder: exact per-run cache accounting
+        # even while other queries hammer the same shared CenterCache
+        self._cache_stats = cache_stats
         self._finalized = False
         self.metrics = metrics
         self.parallel = parallel
@@ -332,8 +322,6 @@ class StreamingResult:
         if self._started is None:
             self._started = time.perf_counter()
             self._io_before = self._db.stats.snapshot()
-            if self._center_cache is not None:
-                self._cache_before = self._center_cache.snapshot()
         try:
             row = next(self._rows)
         except StopIteration:
@@ -371,7 +359,7 @@ class StreamingResult:
         metrics.peak_temporal_rows = max(
             (op.rows_out for op in metrics.operators), default=0
         )
-        metrics.center_cache = _cache_delta(self._center_cache, self._cache_before)
+        metrics.center_cache = self._cache_stats
         if self.parallel is not None:
             metrics.center_cache = _merge_worker_cache(
                 metrics.center_cache, self.parallel.cache_counts
@@ -475,6 +463,8 @@ def execute_plan_streaming(
                 execution.finish()
 
     return StreamingResult(
-        bounded(), metrics, db, center_cache=center_cache, parallel=execution,
+        bounded(), metrics, db,
+        cache_stats=ctx.cache_stats if center_cache is not None else None,
+        parallel=execution,
         columns=tuple(plan.pattern.variables),
     )

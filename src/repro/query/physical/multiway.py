@@ -129,7 +129,9 @@ class _MultiwayBase(PhysicalOperator):
         shared = self.ctx.center_cache if self.ctx.batched else None
         cached: Optional[Tuple[int, ...]] = None
         if shared is not None:
-            cached = shared.get_subcluster(center, fetch_label, side)
+            cached = shared.get_subcluster(
+                center, fetch_label, side, stats=self.ctx.cache_stats
+            )
         if cached is None:
             index = self.ctx.db.join_index
             if side is Side.OUT:
@@ -137,7 +139,10 @@ class _MultiwayBase(PhysicalOperator):
             else:
                 cached = index.get_f(center, fetch_label)
             if shared is not None:
-                shared.put_subcluster(center, fetch_label, side, cached)
+                shared.put_subcluster(
+                    center, fetch_label, side, cached,
+                    stats=self.ctx.cache_stats,
+                )
         self._subclusters[memo_key] = cached
         return cached
 
@@ -302,14 +307,19 @@ class MultiwayIntersectOp(_MultiwayBase):
         cache = self.ctx.center_cache
         cached: Optional[Tuple[int, ...]] = None
         if cache is not None:
-            cached = cache.get_centers(node, pair_id, side)
+            cached = cache.get_centers(
+                node, pair_id, side, stats=self.ctx.cache_stats
+            )
         if cached is None:
             if w_array:
                 cached = tuple(kernels.intersect(code_of(node), w_array))
             else:
                 cached = ()
             if cache is not None:
-                cache.put_centers(node, pair_id, side, cached)
+                cache.put_centers(
+                    node, pair_id, side, cached,
+                    stats=self.ctx.cache_stats,
+                )
         return cached
 
     def _compute_extensions(

@@ -360,14 +360,19 @@ class SharedFilterOp(PhysicalOperator):
         for w_array, pair_id, code_array_of, side in self._batch_keys:
             centers: Optional[Tuple[int, ...]] = None
             if cache is not None:
-                centers = cache.get_centers(node, pair_id, side)
+                centers = cache.get_centers(
+                    node, pair_id, side, stats=self.ctx.cache_stats
+                )
             if centers is None:
                 if w_array:
                     centers = tuple(kernels.intersect(code_array_of(node), w_array))
                 else:
                     centers = ()
                 if cache is not None:
-                    cache.put_centers(node, pair_id, side, centers)
+                    cache.put_centers(
+                        node, pair_id, side, centers,
+                        stats=self.ctx.cache_stats,
+                    )
             if not centers:
                 return None
             center_sets.append(centers)
@@ -478,7 +483,9 @@ class FetchOp(PhysicalOperator):
             return partners
         shared = self.ctx.center_cache if self.ctx.batched else None
         if shared is not None:
-            partners = shared.get_subcluster(center, self.fetch_label, self.side)
+            partners = shared.get_subcluster(
+                center, self.fetch_label, self.side, stats=self.ctx.cache_stats
+            )
         if partners is None:
             db = self.ctx.db
             if self.side is Side.OUT:
@@ -486,7 +493,10 @@ class FetchOp(PhysicalOperator):
             else:
                 partners = db.join_index.get_f(center, self.fetch_label)
             if shared is not None:
-                shared.put_subcluster(center, self.fetch_label, self.side, partners)
+                shared.put_subcluster(
+                    center, self.fetch_label, self.side, partners,
+                    stats=self.ctx.cache_stats,
+                )
         self._subclusters[center] = partners
         return partners
 

@@ -72,7 +72,7 @@ from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ...db.database import GraphDatabase
-from ...storage.stats import IOStats
+from ...storage.stats import IOStats, active_stats
 from ..algebra import Plan, RowLimitExceeded
 from .cache import CenterCache
 from .context import DEFAULT_MORSEL_SIZE, ExecutionContext
@@ -202,18 +202,104 @@ def _run_stage(payload: Payload, db: Optional[GraphDatabase] = None) -> StageRes
     io_delta = db.stats.delta_since(io_before)
     cache_counts = cache.snapshot() if cache is not None else None
     if guard is not None:
-        guard.verify(db, plan, where=f"stage {stage_index} ({kind} morsel)")
+        guard.verify(
+            db, plan,
+            where=f"stage {stage_index} ({kind} morsel)",
+            cache=cache,
+        )
     return rows, counters, io_delta, cache_counts
 
 
 def _locked_stage(
     lock: threading.Lock, payload: Payload, db: GraphDatabase
 ) -> StageResult:
-    """Thread-backend task wrapper: the storage engine is not
-    thread-safe, so morsels take the pool-level lock for their whole
-    body (scheduling machinery still overlaps with coordinator merge)."""
+    """Thread-backend task wrapper: morsels take the pool-level lock for
+    their whole body so their shared-stats I/O deltas stay clean (the
+    GIL keeps thread morsels from running truly in parallel anyway;
+    scheduling machinery still overlaps with coordinator merge)."""
     with lock:
         return _run_stage(payload, db)
+
+
+# ----------------------------------------------------------------------
+# whole-query dispatch (the service's process-dispatch mode)
+# ----------------------------------------------------------------------
+# The per-process engine wrapped around _WORKER_DB, built lazily on the
+# first query task.  One engine per worker process: its plan cache,
+# CenterCache and code cache warm up across the queries routed here,
+# mirroring the coordinator engine's amortization — per process instead
+# of per service.
+_WORKER_ENGINE = None
+
+# payload = (pattern, optimizer, limit, row_limit, batch_size, timeout_s)
+QueryPayload = Tuple[
+    str, str, Optional[int], Optional[int], Optional[int], Optional[float]
+]
+# result = (columns, rows, truncated, stop_reason,
+#           (cache hits, misses, evictions), (exec start, exec end))
+QueryTaskResult = Tuple[
+    Tuple[str, ...],
+    List[Row],
+    bool,
+    Optional[str],
+    Tuple[int, int, int],
+    Tuple[float, float],
+]
+
+
+def _run_query_task(payload: QueryPayload) -> QueryTaskResult:
+    """Execute one whole admitted query inside a pool worker.
+
+    The service's process-dispatch mode routes entire queries here —
+    plan, execute, project — so ``max_inflight`` slots occupy
+    ``max_inflight`` *cores*, not one GIL.  Only the payload (a pattern
+    string plus scalars) and the result rows cross the process boundary;
+    the worker re-opened the snapshot by descriptor at pool start.
+
+    The execution span is measured with ``time.monotonic`` — on Linux a
+    system-wide clock, so spans from different worker processes are
+    directly comparable (the overlapping-exec-windows test rides this).
+    """
+    global _WORKER_ENGINE
+    db = _WORKER_DB
+    if db is None:  # pragma: no cover - defensive: initializer not run
+        raise RuntimeError("worker has no database handle")
+    engine = _WORKER_ENGINE
+    if engine is None or engine.db is not db:
+        # imported lazily: engine imports this module at load time
+        from ...query.engine import GraphEngine
+
+        engine = GraphEngine.from_database(db)
+        _WORKER_ENGINE = engine
+    pattern, optimizer, limit, row_limit, batch_size, timeout_s = payload
+    started = time.monotonic()
+    stream = engine.match_iter(
+        pattern,
+        optimizer=optimizer,
+        limit=limit,
+        row_limit=row_limit,
+        batch_size=batch_size,
+        timeout=timeout_s,
+    )
+    try:
+        rows = list(stream)
+    finally:
+        stream.close()
+    ended = time.monotonic()
+    cache = stream.metrics.center_cache
+    counts = (
+        (cache.hits, cache.misses, cache.evictions)
+        if cache is not None
+        else (0, 0, 0)
+    )
+    return (
+        stream.columns,
+        rows,
+        stream.metrics.truncated,
+        stream.metrics.stop_reason,
+        counts,
+        (started, ended),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -334,6 +420,24 @@ class WorkerPool:
             return self._executor.submit(_run_stage, payload)
         assert self._lock is not None
         return self._executor.submit(_locked_stage, self._lock, payload, self._db)
+
+    def submit_query(self, payload: QueryPayload) -> "Future[QueryTaskResult]":
+        """Route one whole admitted query to a worker process.
+
+        The service's process-dispatch mode: the worker runs the query
+        end to end on its own engine (built once per process over the
+        re-opened snapshot) and ships back only the result rows.  Thread
+        pools are refused — whole-query dispatch exists precisely to
+        escape the shared GIL, which a thread worker cannot do.
+        """
+        if self.closed:
+            raise RuntimeError("worker pool is closed")
+        if self.backend not in ("process", "spawn"):
+            raise ValueError(
+                "whole-query dispatch needs a process or spawn pool; the "
+                "thread backend shares the coordinator's GIL"
+            )
+        return self._executor.submit(_run_query_task, payload)
 
     def shutdown(self) -> None:
         """Terminate the workers and release the snapshot; idempotent."""
@@ -457,9 +561,20 @@ class ParallelExecution:
 
     def worker_io_delta(self) -> IOStats:
         """I/O performed in workers but *not* visible in the
-        coordinator's before/after delta (process backend only — thread
-        workers already charge the shared stats object)."""
-        return self.worker_io if self.pool.backend == "process" else IOStats()
+        coordinator's before/after delta.
+
+        Process workers always charge their own forked stats object.
+        Thread workers charge the engine-global base stats — visible to
+        a plain coordinator delta, but *not* when the coordinator runs
+        under a per-thread :func:`~repro.storage.stats.use_stats`
+        override (the service's concurrent tiers): the override only
+        sees the coordinator thread's own charges, so the worker deltas
+        must be folded in explicitly there too."""
+        if self.pool.backend == "process":
+            return self.worker_io
+        if active_stats() is not None:
+            return self.worker_io
+        return IOStats()
 
     # -- internals -----------------------------------------------------
     def _payload(self, index: int, kind: str, data: Sequence) -> Payload:

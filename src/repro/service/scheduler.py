@@ -175,34 +175,47 @@ class ServiceStats:
             self._total_ms.append(queue_wait_ms + exec_ms)
 
     def snapshot(self) -> Dict[str, Any]:
+        # one consistent cut of counters + windows is taken under the
+        # lock (cheap list copies), then the percentile sorts run with
+        # the lock *released* — concurrent slot threads recording
+        # mark_served never stall behind an O(n log n) snapshot
         with self._lock:
             total = list(self._total_ms)
             queue_wait = list(self._queue_wait_ms)
             exec_ms = list(self._exec_ms)
-            cache_lookups = self.cache_hits + self.cache_misses
-            return {
-                "received": self.received,
-                "served": self.served,
-                "shed": self.shed,
-                "timeouts": self.timeouts,
-                "errors": self.errors,
-                "truncated": self.truncated,
-                "rows_returned": self.rows_returned,
-                "shed_rate": self.shed / self.received if self.received else 0.0,
-                "cache_hit_rate": (
-                    self.cache_hits / cache_lookups if cache_lookups else 0.0
-                ),
-                "latency_ms": {
-                    "p50": percentile(total, 50),
-                    "p95": percentile(total, 95),
-                    "p99": percentile(total, 99),
-                },
-                "queue_wait_ms": {
-                    "p50": percentile(queue_wait, 50),
-                    "p99": percentile(queue_wait, 99),
-                },
-                "exec_ms": {
-                    "p50": percentile(exec_ms, 50),
-                    "p99": percentile(exec_ms, 99),
-                },
-            }
+            received = self.received
+            served = self.served
+            shed = self.shed
+            timeouts = self.timeouts
+            errors = self.errors
+            truncated = self.truncated
+            rows_returned = self.rows_returned
+            cache_hits = self.cache_hits
+            cache_misses = self.cache_misses
+        cache_lookups = cache_hits + cache_misses
+        return {
+            "received": received,
+            "served": served,
+            "shed": shed,
+            "timeouts": timeouts,
+            "errors": errors,
+            "truncated": truncated,
+            "rows_returned": rows_returned,
+            "shed_rate": shed / received if received else 0.0,
+            "cache_hit_rate": (
+                cache_hits / cache_lookups if cache_lookups else 0.0
+            ),
+            "latency_ms": {
+                "p50": percentile(total, 50),
+                "p95": percentile(total, 95),
+                "p99": percentile(total, 99),
+            },
+            "queue_wait_ms": {
+                "p50": percentile(queue_wait, 50),
+                "p99": percentile(queue_wait, 99),
+            },
+            "exec_ms": {
+                "p50": percentile(exec_ms, 50),
+                "p99": percentile(exec_ms, 99),
+            },
+        }

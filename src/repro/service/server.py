@@ -9,11 +9,34 @@ connect over TCP, pipeline requests, and get responses matched by
 
 Concurrency model
 -----------------
-The storage engine underneath (buffer pool LRU, B+-tree page table) is
-*not* thread-safe, so query execution serializes on a per-service
-engine lock — exactly the discipline the thread-backend
-:class:`WorkerPool` applies internally.  What overlaps across queries
-is everything else: protocol parsing, admission, response
+Admitted queries run **concurrently with no engine-wide lock**.  The
+shared structures each carry their own discipline instead:
+
+* the engine's :class:`CenterCache` is striped into independently
+  locked shards (per-shard LRU + counters), so concurrent queries
+  contend only when they hash to the same shard;
+* the plan cache and worker-pool handoff take short per-engine locks
+  around dictionary bumps only — never around execution;
+* the storage read path is tiered per engine.  **Snapshot tier**
+  (mmap-backed databases): reads address an immutable mapping, so
+  execution takes no storage locks at all.  **Live tier** (B+-tree
+  databases): the buffer pool's page table and the index memos take
+  fine-grained per-structure locks around individual lookups;
+* per-query accounting is exact, not delta-of-globals: each execution
+  context carries its own cache recorder, and each slot thread runs
+  under a thread-local :func:`~repro.storage.stats.use_stats` override,
+  so overlapping queries never bleed counters into each other.
+
+``dispatch="process"`` (snapshot tier only) goes further: each admitted
+query is shipped whole to a generation-keyed process
+:class:`~repro.query.physical.parallel.WorkerPool` whose workers
+re-opened the snapshot by descriptor — nothing index-sized crosses the
+process boundary, and ``max_inflight=4`` occupies four *cores* instead
+of four threads sharing one GIL.  The default ``dispatch="auto"``
+resolves to in-process slot threads, which still overlap all I/O waits
+and, on the snapshot tier, all mmap page faults.
+
+What overlaps in every mode: protocol parsing, admission, response
 serialization, socket I/O (all on the event loop) and the engine's
 amortized state (plan cache, CenterCache, warm pools, hot buffer pool)
 — which is where the service's throughput win over per-query cold
@@ -43,8 +66,9 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Set, Tuple
 
-from ..query import PatternError, RowLimitExceeded
+from ..query import PatternError, RowLimitExceeded, WorkerPool
 from ..query.engine import GraphEngine
+from ..storage.stats import IOStats, use_stats
 from .protocol import (
     MAX_LINE_BYTES,
     ProtocolError,
@@ -63,11 +87,16 @@ class ServiceConfig:
 
     host: str = "127.0.0.1"
     port: int = 0  # 0 = ephemeral: read the bound port off ``address``
-    #: concurrent query slots (executor threads); engine work still
-    #: serializes on the engine lock, slots overlap everything else
+    #: concurrent query slots; admitted queries execute in parallel
+    #: (no engine-wide lock — see the module docstring's tier model)
     max_inflight: int = 2
     #: admission queue depth; arrivals beyond it are shed
     queue_depth: int = 16
+    #: where admitted queries execute: ``"auto"`` (in-process slot
+    #: threads), ``"inline"`` (same, explicitly), or ``"process"`` —
+    #: ship each query whole to a process worker pool (snapshot-backed
+    #: engines only; raises ``ValueError`` otherwise)
+    dispatch: str = "auto"
     #: deadline applied when a query carries no ``timeout_ms`` (seconds;
     #: ``None`` = no default deadline)
     default_timeout_s: Optional[float] = None
@@ -88,9 +117,26 @@ class QueryService:
         self.scheduler = AdmissionScheduler(
             self.config.max_inflight, self.config.queue_depth
         )
-        #: serializes engine execution: the storage layer underneath is
-        #: not thread-safe (see module docstring)
-        self._engine_lock = threading.Lock()
+        dispatch = self.config.dispatch
+        if dispatch not in ("auto", "inline", "process"):
+            raise ValueError(
+                f"dispatch must be 'auto', 'inline' or 'process', "
+                f"got {dispatch!r}"
+            )
+        if dispatch == "auto":
+            dispatch = "inline"
+        #: resolved execution mode: ``"inline"`` or ``"process"``
+        self.dispatch = dispatch
+        self._pool: Optional[WorkerPool] = None
+        if dispatch == "process":
+            if engine.db.snapshot_descriptor() is None:
+                raise ValueError(
+                    "dispatch='process' needs a snapshot-backed engine: "
+                    "workers re-open the snapshot by descriptor"
+                )
+            self._pool = WorkerPool(
+                engine.db, self.config.max_inflight, backend="process"
+            )
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.max_inflight,
             thread_name_prefix="repro-query",
@@ -99,6 +145,16 @@ class QueryService:
         self._tasks: Set[asyncio.Task] = set()
         self._started_at = time.perf_counter()
         self._stopping = False
+
+    @property
+    def tier(self) -> str:
+        """Which concurrency tier this engine runs in (module docstring):
+        ``"snapshot-lockfree"`` for mmap-backed engines (reads take no
+        storage locks), ``"live-finegrained"`` for B+-tree engines
+        (per-structure locks on the buffer pool and index memos)."""
+        if self.engine.db.snapshot_descriptor() is not None:
+            return "snapshot-lockfree"
+        return "live-finegrained"
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -139,6 +195,8 @@ class QueryService:
         if self._tasks:
             await asyncio.gather(*self._tasks, return_exceptions=True)
         self._executor.shutdown(wait=True)
+        if self._pool is not None:
+            self._pool.shutdown()
 
     # ------------------------------------------------------------------
     # connection / request handling (event loop)
@@ -238,6 +296,8 @@ class QueryService:
                 "uptime_s": time.perf_counter() - self._started_at,
                 "inflight": self.scheduler.inflight,
                 "queued": self.scheduler.queued,
+                "tier": self.tier,
+                "dispatch": self.dispatch,
                 "engine": {
                     "plan_cache_entries": len(getattr(self.engine, "_plan_cache", ())),
                     "center_cache_entries": cache.entry_count,
@@ -334,6 +394,10 @@ class QueryService:
                 metrics={
                     "queue_ms": round(queue_wait_s * 1000.0, 3),
                     "exec_ms": round(result["exec_s"] * 1000.0, 3),
+                    # monotonic (start, end) of the execution window —
+                    # comparable across concurrent responses, so clients
+                    # (and the differential suite) can prove overlap
+                    "exec_span": list(result["exec_span"]),
                     "rows": len(result["rows"]),
                     "cache_hit_rate": result["cache_hit_rate"],
                 },
@@ -344,12 +408,45 @@ class QueryService:
     def _execute(
         self, request: Request, timeout_s: Optional[float]
     ) -> Dict[str, Any]:
-        """Run one admitted query (executor thread, under the engine lock)."""
+        """Run one admitted query (executor thread — no engine lock).
+
+        Overlapping slot threads share the engine's caches but keep
+        exact private accounting: cache counts come from the execution
+        context's own recorder, and I/O is charged to a thread-local
+        :class:`IOStats` override for the duration of the query.  The
+        execution span is measured on ``time.monotonic`` so spans from
+        inline slots and process workers are directly comparable.
+        """
         limit = self.config.max_result_rows
         if request.limit is not None:
             limit = min(limit, request.limit)
-        started = time.perf_counter()
-        with self._engine_lock:
+        if self._pool is not None:
+            payload = (
+                request.pattern,
+                request.optimizer,
+                limit,
+                request.row_limit,
+                None,
+                timeout_s,
+            )
+            columns, rows, truncated, stop_reason, counts, span = (
+                self._pool.submit_query(payload).result()
+            )
+            hits, misses, _evictions = counts
+            lookups = hits + misses
+            return {
+                "columns": columns,
+                "rows": rows,
+                "truncated": truncated,
+                "stop_reason": stop_reason,
+                "exec_s": span[1] - span[0],
+                "exec_span": span,
+                "cache_hits": hits,
+                "cache_misses": misses,
+                "cache_hit_rate": hits / lookups if lookups else 0.0,
+            }
+        started = time.monotonic()
+        with use_stats(IOStats()):
             stream = self.engine.match_iter(
                 request.pattern,
                 optimizer=request.optimizer,
@@ -361,6 +458,7 @@ class QueryService:
                 rows = list(stream)
             finally:
                 stream.close()
+        ended = time.monotonic()
         cache = stream.metrics.center_cache
         hits = cache.hits if cache is not None else 0
         misses = cache.misses if cache is not None else 0
@@ -369,7 +467,8 @@ class QueryService:
             "rows": rows,
             "truncated": stream.metrics.truncated,
             "stop_reason": stream.metrics.stop_reason,
-            "exec_s": time.perf_counter() - started,
+            "exec_s": ended - started,
+            "exec_span": (started, ended),
             "cache_hits": hits,
             "cache_misses": misses,
             "cache_hit_rate": cache.hit_rate if cache is not None else 0.0,

@@ -7,15 +7,25 @@ default.  All page traffic from heap files and B+-trees flows through
 sees exactly the page-miss behaviour a real bounded buffer would produce —
 the effect that makes DP's larger intermediate results cost "over five
 times the I/O" of DPS at scale.
+
+Concurrency: the page table (frame map + LRU order + victim write-back)
+is guarded by one re-entrant lock, making ``fetch``/``new_page`` safe
+under the service's fine-grained live tier where concurrent queries
+traverse B+-trees over the same pool.  The lock is re-entrant because
+``clear`` nests ``flush_all``.  I/O charges resolve through the
+:attr:`stats` property, which honours a per-thread
+:func:`~repro.storage.stats.use_stats` override so overlapping queries
+get exact, non-interleaved I/O attribution.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Optional
 
 from .pages import DiskManager, Page
-from .stats import IOStats
+from .stats import IOStats, active_stats
 
 DEFAULT_BUFFER_BYTES = 1 << 20  # 1 MiB, as in the paper's test setup
 
@@ -30,9 +40,28 @@ class BufferPool:
         stats: Optional[IOStats] = None,
     ) -> None:
         self.disk = disk or DiskManager()
-        self.stats = stats or IOStats()
+        self._base_stats = stats or IOStats()
         self.frame_count = max(1, capacity_bytes // self.disk.page_size)
         self._frames: "OrderedDict[int, Page]" = OrderedDict()
+        self._lock = threading.RLock()
+
+    @property
+    def stats(self) -> IOStats:
+        """The recorder charges land on: thread override, else the pool's."""
+        override = active_stats()
+        return override if override is not None else self._base_stats
+
+    # a live database is shipped whole to process-pool workers; locks do
+    # not pickle, so the worker re-creates its own (post-fork the child
+    # is single-threaded and the parent's lock state is meaningless)
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     def new_page(self) -> Page:
@@ -44,32 +73,37 @@ class BufferPool:
         ``physical_writes``.  This is the contract the I/O-count
         assertions throughout the test suite are calibrated against.
         """
-        page = self.disk.allocate()
-        self._admit(page)
-        return page
+        with self._lock:
+            page = self.disk.allocate()
+            self._admit(page)
+            return page
 
     def fetch(self, page_id: int) -> Page:
         """Return the page, reading it from disk on a miss."""
-        self.stats.logical_reads += 1
-        frame = self._frames.get(page_id)
-        if frame is not None:
-            self._frames.move_to_end(page_id)
-            return frame
-        self.stats.physical_reads += 1
-        page = self.disk.read_page(page_id)
-        self._admit(page)
-        return page
+        with self._lock:
+            stats = self.stats
+            stats.logical_reads += 1
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                self._frames.move_to_end(page_id)
+                return frame
+            stats.physical_reads += 1
+            page = self.disk.read_page(page_id)
+            self._admit(page)
+            return page
 
     def flush_all(self) -> None:
         """Write back every dirty page without evicting anything."""
-        for page in self._frames.values():
-            if page.dirty:
-                self._write_back(page)
+        with self._lock:
+            for page in self._frames.values():
+                if page.dirty:
+                    self._write_back(page)
 
     def clear(self) -> None:
         """Flush and drop every frame — simulates a cold cache."""
-        self.flush_all()
-        self._frames.clear()
+        with self._lock:
+            self.flush_all()
+            self._frames.clear()
 
     @property
     def resident_pages(self) -> int:

@@ -4,7 +4,13 @@ from __future__ import annotations
 
 import json
 
-from repro.analysis import check_contracts, check_mmap, check_races, deep_check
+from repro.analysis import (
+    check_concurrency,
+    check_contracts,
+    check_mmap,
+    check_races,
+    deep_check,
+)
 from repro.cli import main as cli_main
 
 from test_callgraph import make_project
@@ -336,6 +342,156 @@ class TestMmapRules:
         held = by_rule(check_mmap(project), "mmap/view-held")
         assert len(held) == 1
         assert "`w_entry`" in held[0].message
+
+
+# ----------------------------------------------------------------------
+# conc/* — lock discipline for shared concurrent structures
+# ----------------------------------------------------------------------
+class TestConcurrencyRules:
+    def test_unlocked_mutation_fires(self, tmp_path):
+        project = make_project(tmp_path, {
+            "pool.py": """
+                import threading
+
+                class BufferPool:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._frames = {}
+
+                    def fetch(self, page_id):
+                        self._frames[page_id] = object()
+                        return self._frames[page_id]
+            """,
+        })
+        found = by_rule(check_concurrency(project), "conc/unlocked-mutation")
+        assert len(found) == 1
+        assert "BufferPool.fetch" in found[0].message
+        assert "self._frames" in found[0].message
+        assert found[0].line == 10  # the unlocked subscript write
+
+    def test_locked_mutation_is_clean(self, tmp_path):
+        project = make_project(tmp_path, {
+            "pool.py": """
+                import threading
+
+                class BufferPool:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._frames = {}
+
+                    def fetch(self, page_id):
+                        with self._lock:
+                            self._frames[page_id] = object()
+                            return self._frames[page_id]
+            """,
+        })
+        assert check_concurrency(project) == []
+
+    def test_in_place_mutator_outside_lock_fires(self, tmp_path):
+        project = make_project(tmp_path, {
+            "stats.py": """
+                import threading
+
+                class ServiceStats:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._window = []
+
+                    def mark(self, sample):
+                        self._window.append(sample)
+            """,
+        })
+        found = by_rule(check_concurrency(project), "conc/unlocked-mutation")
+        assert len(found) == 1
+        assert "append" in found[0].message
+
+    def test_missing_lock_construction_fires(self, tmp_path):
+        project = make_project(tmp_path, {
+            "stats.py": """
+                class ServiceStats:
+                    def __init__(self):
+                        self.served = 0
+            """,
+        })
+        found = by_rule(check_concurrency(project), "conc/lock-discipline")
+        assert len(found) == 1
+        assert "ServiceStats" in found[0].message
+
+    def test_setstate_must_recreate_lock(self, tmp_path):
+        broken = make_project(tmp_path, {
+            "pool.py": """
+                import threading
+
+                class BufferPool:
+                    def __init__(self):
+                        self._lock = threading.RLock()
+
+                    def __getstate__(self):
+                        state = dict(self.__dict__)
+                        del state["_lock"]
+                        return state
+
+                    def __setstate__(self, state):
+                        self.__dict__.update(state)
+            """,
+        }, name="broken")
+        found = by_rule(check_concurrency(broken), "conc/lock-discipline")
+        assert len(found) == 1
+        assert "__setstate__" in found[0].message
+
+        fixed = make_project(tmp_path, {
+            "pool.py": """
+                import threading
+
+                class BufferPool:
+                    def __init__(self):
+                        self._lock = threading.RLock()
+
+                    def __getstate__(self):
+                        state = dict(self.__dict__)
+                        del state["_lock"]
+                        return state
+
+                    def __setstate__(self, state):
+                        self.__dict__.update(state)
+                        self._lock = threading.RLock()
+            """,
+        }, name="fixed")
+        assert by_rule(check_concurrency(fixed), "conc/lock-discipline") == []
+
+    def test_allowlisted_helper_is_not_flagged(self, tmp_path):
+        # BufferPool._admit is an audited under-caller's-lock helper
+        project = make_project(tmp_path, {
+            "pool.py": """
+                import threading
+
+                class BufferPool:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._frames = {}
+
+                    def fetch(self, page_id):
+                        with self._lock:
+                            self._admit(page_id)
+
+                    def _admit(self, page_id):
+                        self._frames[page_id] = object()
+            """,
+        })
+        assert check_concurrency(project) == []
+
+    def test_undisciplined_classes_are_ignored(self, tmp_path):
+        project = make_project(tmp_path, {
+            "other.py": """
+                class Catalog:
+                    def __init__(self):
+                        self.tables = {}
+
+                    def register(self, name):
+                        self.tables[name] = name
+            """,
+        })
+        assert check_concurrency(project) == []
 
 
 # ----------------------------------------------------------------------

@@ -293,9 +293,18 @@ class TestServiceEndToEnd:
         service = handle.service
         host, port = handle.address
         try:
-            # hold the engine lock so the one in-flight query blocks in
-            # its executor thread: admission state becomes deterministic
-            service._engine_lock.acquire()
+            # gate execution so the one in-flight query blocks in its
+            # executor thread: admission state becomes deterministic
+            # (there is no engine lock to hold anymore — queries only
+            # serialize on admission slots)
+            gate = threading.Event()
+            original_execute = service._execute
+
+            def gated_execute(request, timeout_s):
+                assert gate.wait(timeout=60)
+                return original_execute(request, timeout_s)
+
+            service._execute = gated_execute
             try:
                 blocked = []
 
@@ -322,7 +331,7 @@ class TestServiceEndToEnd:
                 assert err.value.code == "overloaded"
                 assert reject_s < 5  # fast reject, no queueing behind work
             finally:
-                service._engine_lock.release()
+                gate.set()
             t1.join(timeout=60)
             t2.join(timeout=60)
             assert len(blocked) == 2  # queued work completed after release
@@ -338,7 +347,14 @@ class TestServiceEndToEnd:
         service = handle.service
         host, port = handle.address
         try:
-            service._engine_lock.acquire()
+            gate = threading.Event()
+            original_execute = service._execute
+
+            def gated_execute(request, timeout_s):
+                assert gate.wait(timeout=60)
+                return original_execute(request, timeout_s)
+
+            service._execute = gated_execute
             release = threading.Event()
 
             def run_blocked():
@@ -367,15 +383,14 @@ class TestServiceEndToEnd:
             waiter.start()
             # hold the slot well past the queued query's 100ms deadline
             time.sleep(0.5)
-            service._engine_lock.release()
+            gate.set()
             assert release.wait(timeout=60)
             holder.join(timeout=60)
             waiter.join(timeout=60)
             assert timed_out["code"] == "timeout"
             assert service.stats.snapshot()["timeouts"] >= 1
         finally:
-            if service._engine_lock.locked():
-                service._engine_lock.release()
+            gate.set()
             handle.stop()
 
 

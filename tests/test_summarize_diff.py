@@ -1,0 +1,65 @@
+"""The CI regression gate's direction handling (summarize.py --diff).
+
+Lower-is-better metrics (wall_ms, p99_ms, ...) flag growth; the
+throughput metrics from the service scaling curve (qps, slot_speedup)
+flag *drops*.  Both directions share one threshold.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SUMMARIZE = Path(__file__).resolve().parent.parent / "benchmarks" / "summarize.py"
+spec = importlib.util.spec_from_file_location("summarize", _SUMMARIZE)
+summarize = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(summarize)
+
+
+def bench_file(tmp_path, name, **metrics):
+    entry = {"query": "mixed", "optimizer": "service", "variant": "scale-4"}
+    entry.update(metrics)
+    path = tmp_path / name
+    path.write_text(json.dumps({"bench": "t", "entries": [entry]}))
+    return str(path)
+
+
+class TestDiffDirections:
+    def test_wall_ms_growth_is_a_regression(self, tmp_path):
+        old = bench_file(tmp_path, "old.json", wall_ms=100.0)
+        new = bench_file(tmp_path, "new.json", wall_ms=130.0)
+        lines = summarize.diff_bench_files(old, new)
+        assert len(lines) == 1 and "wall_ms" in lines[0]
+
+    def test_qps_drop_is_a_regression(self, tmp_path):
+        old = bench_file(tmp_path, "old.json", qps=80.0)
+        new = bench_file(tmp_path, "new.json", qps=60.0)
+        lines = summarize.diff_bench_files(old, new)
+        assert len(lines) == 1
+        assert "qps" in lines[0] and "-25%" in lines[0]
+
+    def test_qps_growth_is_not_a_regression(self, tmp_path):
+        old = bench_file(tmp_path, "old.json", qps=60.0)
+        new = bench_file(tmp_path, "new.json", qps=120.0)
+        assert summarize.diff_bench_files(old, new) == []
+
+    def test_slot_speedup_drop_is_a_regression(self, tmp_path):
+        old = bench_file(tmp_path, "old.json", slot_speedup=2.0)
+        new = bench_file(tmp_path, "new.json", slot_speedup=1.2)
+        lines = summarize.diff_bench_files(old, new)
+        assert len(lines) == 1 and "slot_speedup" in lines[0]
+
+    def test_within_threshold_both_directions_pass(self, tmp_path):
+        old = bench_file(tmp_path, "old.json", wall_ms=100.0, qps=80.0)
+        new = bench_file(tmp_path, "new.json", wall_ms=110.0, qps=72.0)
+        assert summarize.diff_bench_files(old, new) == []
+
+    def test_run_diff_exit_codes(self, tmp_path, capsys):
+        old = bench_file(tmp_path, "old.json", qps=80.0)
+        bad = bench_file(tmp_path, "bad.json", qps=40.0)
+        good = bench_file(tmp_path, "good.json", qps=81.0)
+        assert summarize.run_diff(old, bad) == 1
+        assert summarize.run_diff(old, good) == 0
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out and "no regressions" in out
